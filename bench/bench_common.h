@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the bench harness.
+ */
+
+#ifndef DRAMSCOPE_BENCH_BENCH_COMMON_H
+#define DRAMSCOPE_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.h"
+
+namespace dramscope {
+namespace benchutil {
+
+/** Environment knob: scale factor for workload sizes (default 1.0). */
+inline double
+scale()
+{
+    const char *env = std::getenv("DRAMSCOPE_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    const double s = std::atof(env);
+    return s > 0.0 ? s : 1.0;
+}
+
+/** Scaled count, at least @p min_value. */
+inline uint32_t
+scaled(uint32_t base, uint32_t min_value = 1)
+{
+    const auto v = uint32_t(double(base) * scale());
+    return v < min_value ? min_value : v;
+}
+
+/** Prints the reproduction header every bench starts with. */
+inline void
+header(const char *experiment, const char *expectation)
+{
+    std::printf("DRAMScope reproduction — %s\n", experiment);
+    std::printf("paper expectation: %s\n", expectation);
+    std::printf("(simulated substrate; compare shapes, not absolute "
+                "values)\n");
+}
+
+/**
+ * Writes @p table as <DRAMSCOPE_CSV_DIR>/<name>.csv when the
+ * environment variable is set (artifact-style CSV output).
+ */
+inline void
+maybeWriteCsv(const Table &table, const std::string &name)
+{
+    const char *dir = std::getenv("DRAMSCOPE_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    table.writeCsv(path);
+    std::printf("(csv written to %s)\n", path.c_str());
+}
+
+} // namespace benchutil
+} // namespace dramscope
+
+#endif // DRAMSCOPE_BENCH_BENCH_COMMON_H

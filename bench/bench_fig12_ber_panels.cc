@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 12 / O7-O8 reproduction: average BER per physical bit index
+ * (mod 32) for the eight panels — RowPress/RowHammer x charged/
+ * discharged victim x upper/lower aggressor — on a Mfr. A 2021 DDR4
+ * x4 chip, plus the odd-wordline reversal check.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bender/host.h"
+#include "core/charact.h"
+#include "dram/chip.h"
+#include "util/table.h"
+
+using namespace dramscope;
+
+namespace {
+
+std::string
+sparkline(const std::vector<double> &ber)
+{
+    double max = 0;
+    for (double b : ber)
+        max = std::max(max, b);
+    std::string s;
+    static const char *levels[] = {" ", ".", ":", "|", "#"};
+    for (double b : ber) {
+        const int lvl =
+            max > 0 ? int(b / max * 4.0 + 0.5) : 0;
+        s += levels[std::min(lvl, 4)];
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header(
+        "Figure 12 / O7-O8: BER vs physically-remapped bit index",
+        "alternating BER with bit index; the phase reverses with "
+        "aggressor direction (upper/lower), written value (1/0) and "
+        "victim wordline parity; RowPress flips charged cells only, "
+        "on the opposite gate phase to RowHammer");
+
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CharactOptions opts;
+    opts.rowRemap = cfg.rowRemap;
+    opts.victimRows = benchutil::scaled(96, 16);
+    core::Characterization charact(
+        host,
+        core::PhysMap::fromSwizzle(chip.swizzle(), cfg.columnsPerRow(),
+                                   cfg.rdDataBits),
+        opts);
+
+    struct Panel
+    {
+        const char *label;
+        dram::AibMechanism mech;
+        bool dataOne;
+        bool upper;
+    };
+    const Panel panels[] = {
+        {"(a) RowPress  discharged upper", dram::AibMechanism::RowPress,
+         false, true},
+        {"(b) RowPress  charged    upper", dram::AibMechanism::RowPress,
+         true, true},
+        {"(c) RowPress  discharged lower", dram::AibMechanism::RowPress,
+         false, false},
+        {"(d) RowPress  charged    lower", dram::AibMechanism::RowPress,
+         true, false},
+        {"(e) RowHammer discharged upper", dram::AibMechanism::RowHammer,
+         false, true},
+        {"(f) RowHammer charged    upper", dram::AibMechanism::RowHammer,
+         true, true},
+        {"(g) RowHammer discharged lower", dram::AibMechanism::RowHammer,
+         false, false},
+        {"(h) RowHammer charged    lower", dram::AibMechanism::RowHammer,
+         true, false},
+    };
+
+    printBanner("Even-WL victim rows (paper's reported case)");
+    Table t({"Panel", "BER profile (bit index mod 32)", "even-idx BER",
+             "odd-idx BER"});
+    for (const auto &p : panels) {
+        const auto ber =
+            charact.berVsPhysIndex(p.mech, p.dataOne, p.upper);
+        double even = 0, odd = 0;
+        for (size_t k = 0; k < ber.size(); ++k)
+            ((k & 1) == 0 ? even : odd) += ber[k] / 16.0;
+        t.addRow({p.label, sparkline(ber), Table::num(even, 3),
+                  Table::num(odd, 3)});
+    }
+    t.print();
+    benchutil::maybeWriteCsv(t, "fig12_even_wl");
+
+    printBanner("Odd-WL victim rows: pattern reverses (O7/O8)");
+    Table t2({"Panel", "BER profile (bit index mod 32)", "even-idx BER",
+              "odd-idx BER"});
+    for (const auto &p : {panels[1], panels[5]}) {
+        const auto ber = charact.berVsPhysIndex(p.mech, p.dataOne,
+                                                p.upper, 32,
+                                                /*even_wl=*/false);
+        double even = 0, odd = 0;
+        for (size_t k = 0; k < ber.size(); ++k)
+            ((k & 1) == 0 ? even : odd) += ber[k] / 16.0;
+        t2.addRow({p.label, sparkline(ber), Table::num(even, 3),
+                   Table::num(odd, 3)});
+    }
+    t2.print();
+    benchutil::maybeWriteCsv(t2, "fig12_odd_wl");
+
+    std::printf("\nRowPress discharged panels are empty (press flips "
+                "charged cells only, SS II-D); hammer and press flip "
+                "opposite phases (footnote 7 of the paper).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 15 / O13 reproduction: relative Hcnt (activation count of
+ * the first bitflip at the target cell) as the other victim cells'
+ * data changes.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bender/host.h"
+#include "core/charact.h"
+#include "dram/chip.h"
+#include "util/table.h"
+
+using namespace dramscope;
+
+int
+main()
+{
+    benchutil::header(
+        "Figure 15 / O13: relative Hcnt under adversarial victim data",
+        "setting victim neighbours opposite to Vic0 lowers Hcnt: "
+        "paper reports 0.95x (0.91x) for Vic-1,1, 0.87x (0.91x) for "
+        "Vic-2,2 and 0.81x (0.90x) for all four, Vic0 = 0 (1); the "
+        "linear dose model reproduces the ordering with stronger "
+        "magnitudes (see EXPERIMENTS.md)");
+
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CharactOptions opts;
+    opts.rowRemap = cfg.rowRemap;
+    opts.victimRows = benchutil::scaled(24, 8);
+    core::Characterization charact(
+        host,
+        core::PhysMap::fromSwizzle(chip.swizzle(), cfg.columnsPerRow(),
+                                   cfg.rdDataBits),
+        opts);
+
+    Table t({"Cells opposite to Vic0", "Vic0 = 0", "paper",
+             "Vic0 = 1", "paper"});
+    struct Row
+    {
+        const char *label;
+        bool d1, d2;
+        const char *paper0, *paper1;
+    };
+    const Row rows[] = {
+        {"Vic-1,1", true, false, "0.95x", "0.91x"},
+        {"Vic-2,2", false, true, "0.87x", "0.91x"},
+        {"Vic-2,-1,1,2", true, true, "0.81x", "0.90x"},
+    };
+    for (const auto &row : rows) {
+        const double r0 = charact.relativeHcnt(false, row.d1, row.d2);
+        const double r1 = charact.relativeHcnt(true, row.d1, row.d2);
+        t.addRow({row.label, Table::num(r0, 3), row.paper0,
+                  Table::num(r1, 3), row.paper1});
+    }
+    t.print();
+    benchutil::maybeWriteCsv(t, "fig15_hcnt");
+    std::printf("\nO13: the adversarial data pattern lowers the "
+                "first-flip activation count; Vic-2,2 contributes more "
+                "than Vic-1,1, consistent with O11.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: command
+ * throughput of the paths every experiment is built from.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bender/host.h"
+#include "core/re_subarray.h"
+#include "dram/chip.h"
+
+using namespace dramscope;
+
+namespace {
+
+dram::DeviceConfig
+benchConfig()
+{
+    return dram::makePreset("A_x4_2016");
+}
+
+void
+BM_RowWrite(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    dram::RowAddr row = 1000;
+    for (auto _ : state) {
+        host.writeRowPattern(0, row, 0xA5A5A5A5ULL);
+        row = (row + 1) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_RowWrite);
+
+void
+BM_RowRead(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, 0xA5A5A5A5ULL);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.readRow(0, 1000));
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_RowRead);
+
+void
+BM_BulkHammer(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, ~0ULL);
+    host.writeRowPattern(0, 1001, 0);
+    const auto count = uint64_t(state.range(0));
+    for (auto _ : state) {
+        host.hammer(0, 1001, count);
+        host.refresh();  // Reset accumulation between iterations.
+    }
+    state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BulkHammer)->Arg(10000)->Arg(300000);
+
+void
+BM_IteratedHammer(benchmark::State &state)
+{
+    // The slow path: an unrolled ACT-PRE program (no loop detection).
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, ~0ULL);
+    bender::Program p;
+    for (int k = 0; k < 1000; ++k)
+        p.act(0, 1001).sleepNs(33.75).pre(0).sleepNs(13.75);
+    for (auto _ : state)
+        host.run(p);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IteratedHammer);
+
+void
+BM_DisturbCommit(benchmark::State &state)
+{
+    // Cost of evaluating a victim row's accumulated dose (the hot
+    // path of every characterization experiment).
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, ~0ULL);
+    for (auto _ : state) {
+        host.hammer(0, 1001, 100000);
+        benchmark::DoNotOptimize(host.readRowBits(0, 1000));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_DisturbCommit);
+
+void
+BM_RowCopy(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, 0x12345678ULL);
+    for (auto _ : state)
+        host.rowCopy(0, 1000, 1010);
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_RowCopy);
+
+void
+BM_ProbeCopyClassification(benchmark::State &state)
+{
+    // One boundary probe of the Table III scan.
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapper.probeCopy(1000, 1001));
+}
+BENCHMARK(BM_ProbeCopyClassification);
+
+void
+BM_RetentionScan(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    for (auto _ : state) {
+        host.writeRowPattern(0, 1000, ~0ULL);
+        host.waitMs(4000.0);
+        benchmark::DoNotOptimize(host.readRowBits(0, 1000));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_RetentionScan);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SS VI-B reproduction: data scrambling as a countermeasure against
+ * the adversarial data pattern (O13/O14).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bender/host.h"
+#include "core/patterns.h"
+#include "core/protect/scramble.h"
+#include "dram/chip.h"
+#include "util/table.h"
+
+using namespace dramscope;
+
+namespace {
+
+/** BER of the worst-case pattern through a given write path. */
+double
+attackBer(const dram::DeviceConfig &cfg, bool scrambled,
+          bool row_col_keyed, uint32_t rows)
+{
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::Scrambler scrambler(host, 0x5EEDC0DEULL, row_col_keyed);
+    const auto map = core::PhysMap::fromSwizzle(
+        chip.swizzle(), cfg.columnsPerRow(), cfg.rdDataBits);
+    const BitVec victim = core::AdversarialPatterns::worstBerVictimRow(map);
+    const BitVec aggr =
+        core::AdversarialPatterns::worstBerAggressorRow(map);
+
+    size_t flips = 0, cells = 0;
+    for (uint32_t g = 0; g < rows; ++g) {
+        const dram::RowAddr v = 1000 + 4 * g, a = v + 1;
+        if (scrambled) {
+            scrambler.writeRowBits(0, v, victim);
+            scrambler.writeRowBits(0, a, aggr);
+        } else {
+            host.writeRowBits(0, v, victim);
+            host.writeRowBits(0, a, aggr);
+        }
+        host.hammer(0, a, 300000);
+        const BitVec read = scrambled ? scrambler.readRowBits(0, v)
+                                      : host.readRowBits(0, v);
+        flips += read.hammingDistance(victim);
+        cells += cfg.rowBits;
+    }
+    return double(flips) / double(cells);
+}
+
+/** Baseline: solid victim, solid-opposite aggressor, raw path. */
+double
+baselineBer(const dram::DeviceConfig &cfg, uint32_t rows)
+{
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    size_t flips = 0, cells = 0;
+    for (uint32_t g = 0; g < rows; ++g) {
+        const dram::RowAddr v = 1000 + 4 * g, a = v + 1;
+        host.writeRowPattern(0, v, ~0ULL);
+        host.writeRowPattern(0, a, 0);
+        host.hammer(0, a, 300000);
+        const BitVec read = host.readRowBits(0, v);
+        flips += read.size() - read.popcount();
+        cells += cfg.rowBits;
+    }
+    return double(flips) / double(cells);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header(
+        "SS VI-B: scrambling vs the adversarial data pattern",
+        "the 0x33/0xCC pattern raises BER ~1.69x over the solid "
+        "baseline; MC-side scrambling randomizes the stored pattern "
+        "and removes the advantage (row+column keying also defeats "
+        "row-aware pattern construction)");
+
+    // Preset without internal remap so consecutive rows are adjacent.
+    const dram::DeviceConfig cfg = dram::makePreset("B_x4_2019");
+    const uint32_t rows = benchutil::scaled(48, 16);
+
+    const double base = baselineBer(cfg, rows);
+    const double raw = attackBer(cfg, false, true, rows);
+    const double keyed = attackBer(cfg, true, true, rows);
+    const double legacy = attackBer(cfg, true, false, rows);
+
+    Table t({"Write path", "Victim BER", "Relative to solid baseline"});
+    t.addRow({"solid baseline (0xFF / 0x00)", Table::num(base, 4),
+              "1.00"});
+    t.addRow({"adversarial 0x33 / 0xCC, raw", Table::num(raw, 4),
+              Table::num(raw / base, 3)});
+    t.addRow({"adversarial via row+col-keyed scrambler",
+              Table::num(keyed, 4), Table::num(keyed / base, 3)});
+    t.addRow({"adversarial via column-only scrambler",
+              Table::num(legacy, 4), Table::num(legacy / base, 3)});
+    t.print();
+    benchutil::maybeWriteCsv(t, "protect_scramble");
+    std::printf("\nScrambling returns the adversarial pattern to "
+                "random-data behaviour; the paper recommends keying the "
+                "mask by row and column (SS VI-B).\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SS VI-A (memory massaging) and SS VI-B (ECC) reproduction:
+ * coupled-row activation raises the templating success probability,
+ * and SECDED ECC handles sparse flips but loses to the adversarial
+ * data pattern unless scrambling randomizes it first.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bender/host.h"
+#include "core/attack/templating.h"
+#include "core/patterns.h"
+#include "core/protect/ecc.h"
+#include "core/protect/scramble.h"
+#include "dram/chip.h"
+#include "util/table.h"
+
+using namespace dramscope;
+
+namespace {
+
+void
+templating()
+{
+    printBanner("Memory templating reach (SS VI-A)");
+    Table t({"Preset", "Attacker share", "Reach w/o coupling",
+             "Reach with coupling", "Gain"});
+    for (const char *preset : {"B_x4_2019", "HBM2_A", "A_x4_2018"}) {
+        const dram::DeviceConfig cfg = dram::makePreset(preset);
+        for (const double share : {0.02, 0.05, 0.10}) {
+            core::TemplatingOptions opts;
+            opts.attackerShare = share;
+            opts.trials = benchutil::scaled(20000, 2000);
+            opts.useCoupling = false;
+            const double without =
+                core::simulateTemplating(cfg, opts).probability();
+            opts.useCoupling = true;
+            const double with =
+                core::simulateTemplating(cfg, opts).probability();
+            t.addRow({preset, Table::num(share, 3),
+                      Table::num(without, 3), Table::num(with, 3),
+                      Table::num(without > 0 ? with / without : 0, 3)});
+        }
+    }
+    t.print();
+    benchutil::maybeWriteCsv(t, "templating_reach");
+    std::printf("-> coupled presets nearly double the probability that "
+                "a random victim page is attackable (each attacker row "
+                "reaches two wordlines); uncoupled parts are "
+                "unchanged.\n");
+}
+
+void
+eccStudy()
+{
+    printBanner("SECDED ECC vs AIB flips (SS VI-B)");
+    const dram::DeviceConfig cfg = dram::makePreset("B_x4_2019");
+    const uint32_t rows = benchutil::scaled(48, 16);
+
+    struct Case
+    {
+        const char *label;
+        bool adversarial;
+        bool scrambled;
+        uint64_t count;
+    };
+    const Case cases[] = {
+        {"mild attack, solid data", false, false, 30000},
+        {"mild attack, adversarial data", true, false, 30000},
+        {"strong attack, solid data", false, false, 300000},
+        {"strong attack, adversarial data", true, false, 300000},
+        {"strong attack, adversarial + scrambling", true, true,
+         300000},
+    };
+
+    Table t({"Scenario", "Raw BER", "Post-ECC BER", "DUE words",
+             "Corrected"});
+    for (const auto &c : cases) {
+        dram::Chip chip(cfg);
+        bender::Host host(chip);
+        core::EccMemory ecc(host);
+        core::Scrambler scrambler(host, 0xEC0DEULL);
+        const auto map = core::PhysMap::fromSwizzle(
+            chip.swizzle(), cfg.columnsPerRow(), cfg.rdDataBits);
+
+        const BitVec victim =
+            c.adversarial
+                ? core::AdversarialPatterns::worstBerVictimRow(map)
+                : BitVec(cfg.rowBits, true);
+        const BitVec aggr =
+            c.adversarial
+                ? core::AdversarialPatterns::worstBerAggressorRow(map)
+                : BitVec(cfg.rowBits, false);
+
+        uint64_t raw_flips = 0, post_flips = 0, due = 0, cells = 0;
+        for (uint32_t g = 0; g < rows; ++g) {
+            const dram::RowAddr v = 1024 + 4 * g, a = v + 1;
+            // The ECC layer sits above the (optional) scrambler.
+            const BitVec stored =
+                c.scrambled ? [&] {
+                    BitVec masked = victim;
+                    masked ^= scrambler.mask(v);
+                    return masked;
+                }()
+                            : victim;
+            ecc.writeRowBits(0, v, stored);
+            host.writeRowBits(0, a, c.scrambled ? [&] {
+                BitVec masked = aggr;
+                masked ^= scrambler.mask(a);
+                return masked;
+            }()
+                                                : aggr);
+            host.hammer(0, a, c.count);
+
+            const BitVec raw = host.readRowBits(0, v);
+            raw_flips += raw.hammingDistance(stored);
+            std::vector<bool> uncorrectable;
+            const BitVec corrected =
+                ecc.readRowBits(0, v, &uncorrectable);
+            post_flips += corrected.hammingDistance(stored);
+            for (const bool bad : uncorrectable)
+                due += bad ? 1 : 0;
+            cells += cfg.rowBits;
+        }
+        t.addRow({c.label, Table::num(double(raw_flips) / cells, 3),
+                  Table::num(double(post_flips) / cells, 3),
+                  Table::num(due),
+                  Table::num(ecc.stats().corrected)});
+    }
+    t.print();
+    benchutil::maybeWriteCsv(t, "ecc_study");
+    std::printf("-> SECDED absorbs sparse flips; the adversarial "
+                "pattern concentrates flips into words and defeats "
+                "plain SECDED (DUE/SDC), while scrambling restores "
+                "its effectiveness — the pattern-aware ECC direction "
+                "the paper points to.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header(
+        "SS VI extensions: templating reach and ECC behaviour",
+        "coupled rows raise massaging success probability; ECC alone "
+        "is insufficient against the adversarial data pattern");
+    templating();
+    eccStudy();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build a simulated chip, mount a RowHammer attack
+ * through the Bender-style host, and inspect the bitflips.
+ *
+ * This is the 60-second tour of the library; see
+ * examples/reverse_engineer.cpp for the full DRAMScope methodology.
+ */
+
+#include <cstdio>
+
+#include "bender/host.h"
+#include "dram/chip.h"
+
+using namespace dramscope;
+
+int
+main()
+{
+    // A Mfr. A DDR4 x4 chip from 2016 — the paper's main subject.
+    dram::DeviceConfig cfg = dram::makePreset("A_x4_2016");
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    std::printf("DRAMScope quickstart on preset %s\n", cfg.name.c_str());
+    std::printf("  rows/bank=%u  row bits=%u  MAT width=%u\n",
+                cfg.rowsPerBank, cfg.rowBits, cfg.matWidth);
+
+    // Arm a victim row with all-ones and its aggressor with zeros.
+    const dram::BankId bank = 0;
+    const dram::RowAddr victim = 1000, aggressor = 1001;
+    host.writeRowPattern(bank, victim, ~0ULL);
+    host.writeRowPattern(bank, aggressor, 0);
+
+    // Single-sided RowHammer: 300K activations, 35ns open time each,
+    // the paper's standard attack.
+    host.hammer(bank, aggressor, 300000);
+
+    // Read the victim back and count the activate-induced bitflips.
+    const BitVec bits = host.readRowBits(bank, victim);
+    const size_t flips = cfg.rowBits - bits.popcount();
+    std::printf("RowHammer: %zu bitflips in the victim row (BER %.4f)\n",
+                flips, double(flips) / cfg.rowBits);
+
+    // RowPress: far fewer activations, each held open for 7.8us.
+    host.writeRowPattern(bank, victim, ~0ULL);
+    host.press(bank, aggressor, 8192);
+    const BitVec pressed = host.readRowBits(bank, victim);
+    const size_t press_flips = cfg.rowBits - pressed.popcount();
+    std::printf("RowPress : %zu bitflips with only 8K activations "
+                "(BER %.4f)\n",
+                press_flips, double(press_flips) / cfg.rowBits);
+
+    // RowCopy: an out-of-spec in-DRAM copy between same-subarray rows.
+    host.writeRowPattern(bank, victim, 0xC0FFEEULL);
+    host.rowCopy(bank, victim, victim + 4);
+    const bool copied =
+        host.readRow(bank, victim + 4) == host.readRow(bank, victim);
+    std::printf("RowCopy  : same-subarray copy %s\n",
+                copied ? "succeeded" : "failed");
+    return 0;
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Host executor implementation.
+ */
+
+#include "bender/host.h"
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace bender {
+
+Host::Host(dram::Chip &chip)
+    : chip_(chip), tck_ns_(chip.config().timing.tCkNs)
+{
+}
+
+bool
+Host::matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
+                      size_t end, dram::BankId &bank, dram::RowAddr &row,
+                      double &open_ns, double &period_ns) const
+{
+    // Accepted shape: Act(b, r) {Nop|SleepNs}* Pre(b) {Nop|SleepNs}*.
+    size_t i = begin;
+    if (i >= end || instrs[i].op != Opcode::Act)
+        return false;
+    bank = instrs[i].bank;
+    row = instrs[i].row;
+    double t = tck_ns_;  // The ACT slot itself.
+    ++i;
+    while (i < end && (instrs[i].op == Opcode::Nop ||
+                       instrs[i].op == Opcode::SleepNs)) {
+        t += instrs[i].op == Opcode::Nop
+                 ? double(instrs[i].count) * tck_ns_
+                 : instrs[i].ns;
+        ++i;
+    }
+    if (i >= end || instrs[i].op != Opcode::Pre ||
+        instrs[i].bank != bank) {
+        return false;
+    }
+    open_ns = t;
+    t += tck_ns_;
+    ++i;
+    while (i < end && (instrs[i].op == Opcode::Nop ||
+                       instrs[i].op == Opcode::SleepNs)) {
+        t += instrs[i].op == Opcode::Nop
+                 ? double(instrs[i].count) * tck_ns_
+                 : instrs[i].ns;
+        ++i;
+    }
+    if (i != end)
+        return false;
+    period_ns = t;
+    return true;
+}
+
+void
+Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
+                ExecResult &result)
+{
+    size_t i = begin;
+    while (i < end) {
+        const Instr &ins = instrs[i];
+        switch (ins.op) {
+          case Opcode::Act:
+            chip_.act(ins.bank, ins.row, now());
+            now_ns_ += tck_ns_;
+            ++result.commandsIssued;
+            ++i;
+            break;
+          case Opcode::Pre:
+            chip_.pre(ins.bank, now());
+            now_ns_ += tck_ns_;
+            ++result.commandsIssued;
+            ++i;
+            break;
+          case Opcode::Rd:
+            result.reads.push_back(chip_.read(ins.bank, ins.col, now()));
+            now_ns_ += tck_ns_;
+            ++result.commandsIssued;
+            ++i;
+            break;
+          case Opcode::Wr:
+            chip_.write(ins.bank, ins.col, ins.data, now());
+            now_ns_ += tck_ns_;
+            ++result.commandsIssued;
+            ++i;
+            break;
+          case Opcode::Ref:
+            chip_.refresh(now());
+            now_ns_ += tck_ns_;
+            ++result.commandsIssued;
+            ++i;
+            break;
+          case Opcode::Nop:
+            now_ns_ += double(ins.count) * tck_ns_;
+            ++i;
+            break;
+          case Opcode::SleepNs:
+            now_ns_ += ins.ns;
+            ++i;
+            break;
+          case Opcode::LoopBegin: {
+            // Find the matching LoopEnd.
+            size_t depth = 1;
+            size_t body_end = i + 1;
+            while (body_end < end && depth > 0) {
+                if (instrs[body_end].op == Opcode::LoopBegin)
+                    ++depth;
+                else if (instrs[body_end].op == Opcode::LoopEnd)
+                    --depth;
+                if (depth == 0)
+                    break;
+                ++body_end;
+            }
+            panicIf(depth != 0, "Host: unbalanced loop (validate?)");
+
+            dram::BankId bank;
+            dram::RowAddr row;
+            double open_ns, period_ns;
+            if (matchHammerBody(instrs, i + 1, body_end, bank, row,
+                                open_ns, period_ns)) {
+                const uint64_t count = ins.count;
+                const dram::NanoTime start = now();
+                // The last PRE is issued open_ns into the final
+                // iteration, not at the loop end.
+                const auto last_pre = dram::NanoTime(
+                    now_ns_ + double(count - 1) * period_ns + open_ns);
+                now_ns_ += double(count) * period_ns;
+                chip_.actMany(bank, row, count, open_ns, start,
+                              last_pre);
+                result.commandsIssued += 2 * count;
+            } else {
+                for (uint64_t k = 0; k < ins.count; ++k)
+                    execRange(instrs, i + 1, body_end, result);
+            }
+            i = body_end + 1;
+            break;
+          }
+          case Opcode::LoopEnd:
+            panic("Host: stray LoopEnd");
+        }
+    }
+}
+
+ExecResult
+Host::run(const Program &prog)
+{
+    prog.validate();
+    ExecResult result;
+    result.startNs = now();
+    execRange(prog.instrs(), 0, prog.instrs().size(), result);
+    result.endNs = now();
+    return result;
+}
+
+void
+Host::writeRow(dram::BankId b, dram::RowAddr row,
+               const std::vector<uint64_t> &cols)
+{
+    const auto &t = config().timing;
+    fatalIf(cols.size() != config().columnsPerRow(),
+            "writeRow: column count mismatch");
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (dram::ColAddr c = 0; c < cols.size(); ++c)
+        p.wr(b, c, cols[c]);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    run(p);
+}
+
+void
+Host::writeRowPattern(dram::BankId b, dram::RowAddr row, uint64_t rd_data)
+{
+    writeRow(b, row,
+             std::vector<uint64_t>(config().columnsPerRow(), rd_data));
+}
+
+void
+Host::writeColumns(dram::BankId b, dram::RowAddr row,
+                   const std::vector<dram::ColAddr> &cols,
+                   uint64_t rd_data)
+{
+    const auto &t = config().timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (const auto c : cols)
+        p.wr(b, c, rd_data);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    run(p);
+}
+
+std::vector<uint64_t>
+Host::readColumns(dram::BankId b, dram::RowAddr row,
+                  const std::vector<dram::ColAddr> &cols)
+{
+    const auto &t = config().timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (const auto c : cols)
+        p.rd(b, c);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    return run(p).reads;
+}
+
+std::vector<uint64_t>
+Host::readRow(dram::BankId b, dram::RowAddr row)
+{
+    const auto &t = config().timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (dram::ColAddr c = 0; c < config().columnsPerRow(); ++c)
+        p.rd(b, c);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    return run(p).reads;
+}
+
+BitVec
+Host::readRowBits(dram::BankId b, dram::RowAddr row)
+{
+    const auto cols = readRow(b, row);
+    const uint32_t w = config().rdDataBits;
+    BitVec bits(cols.size() * w);
+    for (size_t c = 0; c < cols.size(); ++c) {
+        for (uint32_t i = 0; i < w; ++i)
+            bits.set(c * w + i, (cols[c] >> i) & 1ULL);
+    }
+    return bits;
+}
+
+void
+Host::writeRowBits(dram::BankId b, dram::RowAddr row, const BitVec &bits)
+{
+    const uint32_t w = config().rdDataBits;
+    fatalIf(bits.size() != size_t(config().columnsPerRow()) * w,
+            "writeRowBits: size mismatch");
+    std::vector<uint64_t> cols(config().columnsPerRow(), 0);
+    for (size_t c = 0; c < cols.size(); ++c) {
+        for (uint32_t i = 0; i < w; ++i) {
+            if (bits.get(c * w + i))
+                cols[c] |= 1ULL << i;
+        }
+    }
+    writeRow(b, row, cols);
+}
+
+void
+Host::hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
+             double open_ns)
+{
+    const auto &t = config().timing;
+    Program p;
+    p.loopBegin(count)
+        .act(b, row)
+        .sleepNs(open_ns - tck_ns_)
+        .pre(b)
+        .sleepNs(t.tRpNs)
+        .loopEnd();
+    run(p);
+}
+
+void
+Host::press(dram::BankId b, dram::RowAddr row, uint64_t count,
+            double open_ns)
+{
+    hammer(b, row, count, open_ns);
+}
+
+void
+Host::rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst)
+{
+    const auto &t = config().timing;
+    Program p;
+    p.act(b, src)
+        .sleepNs(t.tRasNs)
+        .pre(b)
+        .sleepNs(1.0)  // Way inside tRP: bitlines still hold src.
+        .act(b, dst)
+        .sleepNs(t.tRasNs)
+        .pre(b)
+        .sleepNs(t.tRpNs);
+    run(p);
+}
+
+void
+Host::refresh()
+{
+    const auto &t = config().timing;
+    Program p;
+    p.ref().sleepNs(t.tRfcNs);
+    run(p);
+}
+
+} // namespace bender
+} // namespace dramscope

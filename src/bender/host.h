@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The host controller: executes Bender programs against a chip with a
+ * cycle clock, and provides the convenience operations every
+ * reverse-engineering tool is built from (row read/write, hammer,
+ * press, RowCopy, retention waits).
+ *
+ * The host sees only the command/data interface — exactly the vantage
+ * point of the paper's FPGA platform.  It never touches chip
+ * internals.
+ */
+
+#ifndef DRAMSCOPE_BENDER_HOST_H
+#define DRAMSCOPE_BENDER_HOST_H
+
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/chip.h"
+#include "util/bitvec.h"
+
+namespace dramscope {
+namespace bender {
+
+/** Result of executing a program. */
+struct ExecResult
+{
+    std::vector<uint64_t> reads;  //!< RD results in program order.
+    dram::NanoTime startNs = 0;
+    dram::NanoTime endNs = 0;
+    uint64_t commandsIssued = 0;
+};
+
+/** Host controller bound to one chip. */
+class Host
+{
+  public:
+    /** @param chip Device under test (borrowed; must outlive Host). */
+    explicit Host(dram::Chip &chip);
+
+    /** Current host clock (ns). */
+    dram::NanoTime now() const { return dram::NanoTime(now_ns_); }
+
+    /** Advances the clock without issuing commands. */
+    void waitNs(double ns) { now_ns_ += ns; }
+
+    /** Advances the clock by milliseconds (retention tests). */
+    void waitMs(double ms) { now_ns_ += ms * 1.0e6; }
+
+    /**
+     * Executes a program.  Loops whose body is a constant-address
+     * ACT..PRE kernel run through the chip's bulk fast path; all
+     * other programs execute slot by slot.
+     */
+    ExecResult run(const Program &prog);
+
+    /// @name Convenience operations (legal timing auto-inserted).
+    /// @{
+
+    /** Writes one RD_data value to every column of a row. */
+    void writeRowPattern(dram::BankId b, dram::RowAddr row,
+                         uint64_t rd_data);
+
+    /** Writes per-column RD_data values (size = columnsPerRow). */
+    void writeRow(dram::BankId b, dram::RowAddr row,
+                  const std::vector<uint64_t> &cols);
+
+    /** Reads every column of a row. */
+    std::vector<uint64_t> readRow(dram::BankId b, dram::RowAddr row);
+
+    /**
+     * Writes @p rd_data to a subset of columns only (cheap probes
+     * that do not need the whole row).
+     */
+    void writeColumns(dram::BankId b, dram::RowAddr row,
+                      const std::vector<dram::ColAddr> &cols,
+                      uint64_t rd_data);
+
+    /** Reads a subset of columns. */
+    std::vector<uint64_t>
+    readColumns(dram::BankId b, dram::RowAddr row,
+                const std::vector<dram::ColAddr> &cols);
+
+    /**
+     * Reads a row as host-order bits: bit index = col * rdDataBits +
+     * rd_bit.
+     */
+    BitVec readRowBits(dram::BankId b, dram::RowAddr row);
+
+    /** Writes a row from host-order bits. */
+    void writeRowBits(dram::BankId b, dram::RowAddr row,
+                      const BitVec &bits);
+
+    /**
+     * Single-sided RowHammer: @p count ACT-PRE pairs with @p open_ns
+     * of open-row time each (paper: 300K x 35ns).
+     */
+    void hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
+                double open_ns = 35.0);
+
+    /**
+     * RowPress: @p count activations each held open for @p open_ns
+     * (paper: 8K x 7.8us).
+     */
+    void press(dram::BankId b, dram::RowAddr row, uint64_t count,
+               double open_ns = 7800.0);
+
+    /**
+     * RowCopy: activates @p src, precharges, then re-activates
+     * @p dst inside tRP so the bitlines charge-share into @p dst.
+     */
+    void rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst);
+
+    /** Issues a refresh (and waits tRFC). */
+    void refresh();
+
+    /// @}
+
+    dram::Chip &chip() { return chip_; }
+    const dram::DeviceConfig &config() const { return chip_.config(); }
+
+  private:
+    /**
+     * Executes instrs [begin, end); returns the slot after the range.
+     */
+    void execRange(const std::vector<Instr> &instrs, size_t begin,
+                   size_t end, ExecResult &result);
+
+    /**
+     * Detects a constant-address hammer kernel body.  On success sets
+     * the bank/row/open-time/period outputs.
+     */
+    bool matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
+                         size_t end, dram::BankId &bank,
+                         dram::RowAddr &row, double &open_ns,
+                         double &period_ns) const;
+
+    dram::Chip &chip_;
+    double now_ns_ = 1000.0;  //!< Start past 0 to keep gaps positive.
+    double tck_ns_;
+};
+
+} // namespace bender
+} // namespace dramscope
+
+#endif // DRAMSCOPE_BENDER_HOST_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Program builder implementation.
+ */
+
+#include "bender/program.h"
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace bender {
+
+Program &
+Program::act(dram::BankId b, dram::RowAddr r)
+{
+    Instr i;
+    i.op = Opcode::Act;
+    i.bank = b;
+    i.row = r;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::pre(dram::BankId b)
+{
+    Instr i;
+    i.op = Opcode::Pre;
+    i.bank = b;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::rd(dram::BankId b, dram::ColAddr c)
+{
+    Instr i;
+    i.op = Opcode::Rd;
+    i.bank = b;
+    i.col = c;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::wr(dram::BankId b, dram::ColAddr c, uint64_t data)
+{
+    Instr i;
+    i.op = Opcode::Wr;
+    i.bank = b;
+    i.col = c;
+    i.data = data;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::ref()
+{
+    Instr i;
+    i.op = Opcode::Ref;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::nop(uint64_t cycles)
+{
+    Instr i;
+    i.op = Opcode::Nop;
+    i.count = cycles;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::sleepNs(double ns)
+{
+    Instr i;
+    i.op = Opcode::SleepNs;
+    i.ns = ns;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::loopBegin(uint64_t count)
+{
+    Instr i;
+    i.op = Opcode::LoopBegin;
+    i.count = count;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
+Program::loopEnd()
+{
+    Instr i;
+    i.op = Opcode::LoopEnd;
+    instrs_.push_back(i);
+    return *this;
+}
+
+void
+Program::validate() const
+{
+    int depth = 0;
+    for (const auto &i : instrs_) {
+        if (i.op == Opcode::LoopBegin)
+            ++depth;
+        else if (i.op == Opcode::LoopEnd)
+            --depth;
+        fatalIf(depth < 0, "Program: LoopEnd without LoopBegin");
+    }
+    fatalIf(depth != 0, "Program: unbalanced loops");
+}
+
+} // namespace bender
+} // namespace dramscope

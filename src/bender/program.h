@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DRAM Bender-style command programs.
+ *
+ * A Program is a flat list of command slots with explicit timing
+ * (NOPs and sleeps) plus counted, nestable loops — the same
+ * abstraction the FPGA infrastructure exposes.  Out-of-spec timing is
+ * deliberately expressible; that is the whole point of the tool
+ * (RowCopy needs an ACT issued inside tRP).
+ */
+
+#ifndef DRAMSCOPE_BENDER_PROGRAM_H
+#define DRAMSCOPE_BENDER_PROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/types.h"
+
+namespace dramscope {
+namespace bender {
+
+/** Command opcodes of the mini-ISA. */
+enum class Opcode
+{
+    Act,        //!< Activate (bank, row).
+    Pre,        //!< Precharge (bank).
+    Rd,         //!< Read (bank, col); result appended to ExecResult.
+    Wr,         //!< Write (bank, col, data).
+    Ref,        //!< Refresh (all banks).
+    Nop,        //!< Wait count * tCK.
+    SleepNs,    //!< Wait an arbitrary number of nanoseconds.
+    LoopBegin,  //!< Repeat until matching LoopEnd, count times.
+    LoopEnd,
+};
+
+/** One program slot. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    dram::BankId bank = 0;
+    dram::RowAddr row = 0;
+    dram::ColAddr col = 0;
+    uint64_t data = 0;
+    uint64_t count = 1;  //!< NOP cycles or loop iterations.
+    double ns = 0.0;     //!< SleepNs duration.
+};
+
+/** Fluent builder for command programs. */
+class Program
+{
+  public:
+    Program &act(dram::BankId b, dram::RowAddr r);
+    Program &pre(dram::BankId b);
+    Program &rd(dram::BankId b, dram::ColAddr c);
+    Program &wr(dram::BankId b, dram::ColAddr c, uint64_t data);
+    Program &ref();
+    Program &nop(uint64_t cycles = 1);
+    Program &sleepNs(double ns);
+    Program &loopBegin(uint64_t count);
+    Program &loopEnd();
+
+    const std::vector<Instr> &instrs() const { return instrs_; }
+
+    /** fatal()s when loops are unbalanced. */
+    void validate() const;
+
+    /** Number of slots (not expanded for loops). */
+    size_t size() const { return instrs_.size(); }
+
+  private:
+    std::vector<Instr> instrs_;
+};
+
+} // namespace bender
+} // namespace dramscope
+
+#endif // DRAMSCOPE_BENDER_PROGRAM_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Templating simulation implementation.
+ */
+
+#include "core/attack/templating.h"
+
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+TemplatingResult
+simulateTemplating(const dram::DeviceConfig &cfg,
+                   const TemplatingOptions &opts)
+{
+    fatalIf(opts.attackerShare <= 0.0 || opts.attackerShare >= 1.0,
+            "simulateTemplating: share must be in (0, 1)");
+    const dram::SubarrayMap map(cfg);
+    Rng rng(opts.seed);
+    TemplatingResult result;
+
+    const bool coupled =
+        opts.useCoupling && cfg.coupledRowDistance.has_value();
+    const uint32_t distance = coupled ? *cfg.coupledRowDistance : 0;
+
+    for (uint64_t t = 0; t < opts.trials; ++t) {
+        // Fresh pseudo-random attacker allocation per trial (a new
+        // massaging run): O(1) membership through a keyed hash
+        // instead of materializing the whole row set.
+        const uint64_t alloc_key = hashCombine(opts.seed, t);
+        auto attacker_owns = [&](dram::RowAddr row) {
+            return hashUniform(alloc_key, row) < opts.attackerShare;
+        };
+
+        const auto victim = dram::RowAddr(rng.below(cfg.rowsPerBank));
+        if (attacker_owns(victim)) {
+            ++result.trials;  // Landed on an attacker page: counts as
+            continue;         // unreachable for comparability.
+        }
+
+        bool reachable = false;
+        // A victim is attackable when an attacker row is one of its
+        // AIB neighbours — the rows whose activation disturbs it.
+        for (const bool upper : {false, true}) {
+            if (const auto nb = map.neighbor(victim, upper)) {
+                if (attacker_owns(*nb))
+                    reachable = true;
+                // With coupling, activating the partner address also
+                // drives the neighbour's wordline.
+                if (coupled && attacker_owns(*nb ^ distance))
+                    reachable = true;
+            }
+        }
+        ++result.trials;
+        result.reachable += reachable ? 1 : 0;
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace dramscope

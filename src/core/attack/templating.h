@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory templating/massaging analysis (SS VI-A).
+ *
+ * AIB exploits need the victim page physically adjacent to an
+ * attacker-controlled aggressor row.  The paper observes that
+ * coupled-row activation raises the success probability of the
+ * massaging phase: one attacker page reaches victims next to its row
+ * AND next to the coupled row.  This module runs that placement
+ * experiment on the simulated bank geometry.
+ */
+
+#ifndef DRAMSCOPE_CORE_ATTACK_TEMPLATING_H
+#define DRAMSCOPE_CORE_ATTACK_TEMPLATING_H
+
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/geometry.h"
+#include "util/rng.h"
+
+namespace dramscope {
+namespace core {
+
+/** Result of one templating simulation. */
+struct TemplatingResult
+{
+    uint64_t trials = 0;
+    uint64_t reachable = 0;  //!< Victim adjacent to an attacker row.
+    double probability() const
+    {
+        return trials ? double(reachable) / double(trials) : 0.0;
+    }
+};
+
+/** Options for the templating analysis. */
+struct TemplatingOptions
+{
+    /** Fraction of the bank's rows the attacker controls. */
+    double attackerShare = 0.05;
+
+    /** Placement trials. */
+    uint64_t trials = 20000;
+
+    /** Honour the coupled-row relation when computing reach. */
+    bool useCoupling = true;
+
+    uint64_t seed = 0x7e3417ULL;
+};
+
+/**
+ * Monte-Carlo massaging experiment: the attacker owns a random set of
+ * rows; a victim row is placed uniformly; success = some attacker row
+ * is an AIB aggressor for the victim (directly, or through its
+ * coupled partner when enabled).
+ */
+TemplatingResult simulateTemplating(const dram::DeviceConfig &cfg,
+                                    const TemplatingOptions &opts);
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_ATTACK_TEMPLATING_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Adversarial pattern builders.
+ */
+
+#include "core/patterns.h"
+
+namespace dramscope {
+namespace core {
+
+BitVec
+AdversarialPatterns::worstBerVictimRow(const PhysMap &map)
+{
+    return map.hostBitsForPhysicalPattern(worstVictimNibble, 4);
+}
+
+BitVec
+AdversarialPatterns::worstBerAggressorRow(const PhysMap &map)
+{
+    return map.hostBitsForPhysicalPattern(worstAggressorNibble, 4);
+}
+
+BitVec
+AdversarialPatterns::targetedVictimRow(const PhysMap &map,
+                                       uint32_t target_phys,
+                                       bool vic0_value)
+{
+    BitVec phys(map.rowBits(), !vic0_value);
+    // The target cell (and its period-5 replicas, which keep the
+    // pattern measurable) hold vic0; everything else the opposite.
+    for (uint32_t p = target_phys % 5; p < map.rowBits(); p += 5)
+        phys.set(p, vic0_value);
+    return map.toHost(phys);
+}
+
+BitVec
+AdversarialPatterns::targetedAggressorRow(const PhysMap &map,
+                                          bool vic0_value)
+{
+    return BitVec(map.rowBits(), !vic0_value);
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Adversarial data patterns derived from the paper's observations
+ * (O11-O14, SS V-C/V-D, SS VI-A).
+ */
+
+#ifndef DRAMSCOPE_CORE_PATTERNS_H
+#define DRAMSCOPE_CORE_PATTERNS_H
+
+#include <cstdint>
+
+#include "core/physmap.h"
+#include "util/bitvec.h"
+
+namespace dramscope {
+namespace core {
+
+/** Builders for the adversarial row contents. */
+class AdversarialPatterns
+{
+  public:
+    /**
+     * Worst-case whole-row BER pattern (O14): the victim repeats
+     * 0x33 and the aggressor 0xCC in physical MAT space — vertically
+     * opposite values with a two-bit repeat, which maximizes the
+     * distance-two victim influence.
+     */
+    static constexpr uint8_t worstVictimNibble = 0x3;   // 0b0011
+    static constexpr uint8_t worstAggressorNibble = 0xC;  // 0b1100
+
+    /** Host-order victim row for the worst-case BER pattern. */
+    static BitVec worstBerVictimRow(const PhysMap &map);
+
+    /** Host-order aggressor row for the worst-case BER pattern. */
+    static BitVec worstBerAggressorRow(const PhysMap &map);
+
+    /**
+     * Targeted-Hcnt victim row (O13): every cell holds the opposite
+     * of @p vic0_value except the target cell at physical position
+     * @p target_phys and the rest of its period-5 lattice.
+     */
+    static BitVec targetedVictimRow(const PhysMap &map,
+                                    uint32_t target_phys,
+                                    bool vic0_value);
+
+    /**
+     * Targeted-Hcnt aggressor row (O13): all cells hold the opposite
+     * of @p vic0_value.
+     */
+    static BitVec targetedAggressorRow(const PhysMap &map,
+                                       bool vic0_value);
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PATTERNS_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PhysMap implementation.
+ */
+
+#include "core/physmap.h"
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+PhysMap::PhysMap(uint32_t row_bits)
+{
+    host_to_phys_.resize(row_bits);
+    phys_to_host_.resize(row_bits);
+    for (uint32_t i = 0; i < row_bits; ++i) {
+        host_to_phys_[i] = i;
+        phys_to_host_[i] = i;
+    }
+}
+
+PhysMap
+PhysMap::fromSwizzle(const dram::Swizzle &swz, uint32_t columns,
+                     uint32_t rd_bits)
+{
+    std::vector<uint32_t> table(size_t(columns) * rd_bits);
+    for (uint32_t c = 0; c < columns; ++c) {
+        for (uint32_t i = 0; i < rd_bits; ++i)
+            table[size_t(c) * rd_bits + i] = swz.physicalBl(c, i);
+    }
+    return fromTable(std::move(table));
+}
+
+PhysMap
+PhysMap::fromTable(std::vector<uint32_t> host_to_phys)
+{
+    PhysMap map(uint32_t(host_to_phys.size()));
+    map.host_to_phys_ = std::move(host_to_phys);
+    std::vector<bool> seen(map.host_to_phys_.size(), false);
+    for (uint32_t h = 0; h < map.host_to_phys_.size(); ++h) {
+        const uint32_t p = map.host_to_phys_[h];
+        fatalIf(p >= map.host_to_phys_.size() || seen[p],
+                "PhysMap: table is not a permutation");
+        seen[p] = true;
+        map.phys_to_host_[p] = h;
+    }
+    return map;
+}
+
+BitVec
+PhysMap::toPhysical(const BitVec &host_bits) const
+{
+    panicIf(host_bits.size() != host_to_phys_.size(),
+            "PhysMap::toPhysical: size mismatch");
+    BitVec out(host_bits.size());
+    for (uint32_t h = 0; h < host_bits.size(); ++h)
+        out.set(host_to_phys_[h], host_bits.get(h));
+    return out;
+}
+
+BitVec
+PhysMap::toHost(const BitVec &phys_bits) const
+{
+    panicIf(phys_bits.size() != phys_to_host_.size(),
+            "PhysMap::toHost: size mismatch");
+    BitVec out(phys_bits.size());
+    for (uint32_t p = 0; p < phys_bits.size(); ++p)
+        out.set(phys_to_host_[p], phys_bits.get(p));
+    return out;
+}
+
+BitVec
+PhysMap::hostBitsForPhysicalPattern(uint64_t pattern,
+                                    unsigned pattern_bits) const
+{
+    BitVec phys(rowBits());
+    phys.fillPattern(pattern, pattern_bits);
+    return toHost(phys);
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bidirectional map between host data bits and physical bitlines.
+ *
+ * The reverse-engineering layer produces one of these (SwizzleReverser)
+ * and the characterization suite consumes one, either reverse-
+ * engineered or taken from the device ground truth (benches state
+ * which they use; tests assert the two agree).
+ */
+
+#ifndef DRAMSCOPE_CORE_PHYSMAP_H
+#define DRAMSCOPE_CORE_PHYSMAP_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dram/swizzle.h"
+#include "util/bitvec.h"
+
+namespace dramscope {
+namespace core {
+
+/**
+ * Dense permutation between host bit order (col * rdDataBits + bit)
+ * and physical bitline order.
+ */
+class PhysMap
+{
+  public:
+    /** Identity map over @p row_bits cells. */
+    explicit PhysMap(uint32_t row_bits);
+
+    /** Builds the map from a device swizzle (ground truth). */
+    static PhysMap fromSwizzle(const dram::Swizzle &swz,
+                               uint32_t columns, uint32_t rd_bits);
+
+    /** Builds from an explicit host-bit -> physical-bl table. */
+    static PhysMap fromTable(std::vector<uint32_t> host_to_phys);
+
+    /** Physical bitline of host bit (col * rdDataBits + rd_bit). */
+    uint32_t physOf(uint32_t host_bit) const
+    {
+        return host_to_phys_.at(host_bit);
+    }
+
+    /** Host bit of a physical bitline. */
+    uint32_t hostOf(uint32_t phys_bl) const
+    {
+        return phys_to_host_.at(phys_bl);
+    }
+
+    /** Number of bits in a row. */
+    uint32_t rowBits() const { return uint32_t(host_to_phys_.size()); }
+
+    /** Reorders host-order row bits into physical order. */
+    BitVec toPhysical(const BitVec &host_bits) const;
+
+    /** Reorders physical-order row bits into host order. */
+    BitVec toHost(const BitVec &phys_bits) const;
+
+    /**
+     * Builds host-order row bits whose *physical* layout repeats the
+     * low @p pattern_bits bits of @p pattern (used for the paper's
+     * MAT-space data patterns, Figures 16/17).
+     */
+    BitVec hostBitsForPhysicalPattern(uint64_t pattern,
+                                      unsigned pattern_bits) const;
+
+  private:
+    std::vector<uint32_t> host_to_phys_;
+    std::vector<uint32_t> phys_to_host_;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PHYSMAP_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRFM controller implementation.
+ */
+
+#include "core/protect/drfm.h"
+
+namespace dramscope {
+namespace core {
+
+DrfmController::DrfmController(dram::Chip &chip, DrfmOptions opts)
+    : chip_(chip), opts_(opts)
+{
+}
+
+void
+DrfmController::onActivate(dram::RowAddr logical_row, uint64_t count,
+                           dram::NanoTime now)
+{
+    sampled_ = logical_row;
+    since_last_ += count;
+    if (since_last_ >= opts_.interval) {
+        since_last_ = 0;
+        issueDrfm(now);
+    }
+}
+
+void
+DrfmController::refreshNeighbors(dram::RowAddr phys_row,
+                                 dram::NanoTime now)
+{
+    auto &bank = chip_.bank(opts_.bank);
+    const auto &map = chip_.subarrayMap();
+    for (const bool upper : {false, true}) {
+        if (const auto nb = map.neighbor(phys_row, upper))
+            bank.restoreRow(*nb, now);
+    }
+}
+
+void
+DrfmController::issueDrfm(dram::NanoTime now)
+{
+    if (!sampled_)
+        return;
+    ++drfm_count_;
+    // In-DRAM action: the device translates the sampled address and
+    // refreshes the true neighbours of the whole activated set —
+    // including the coupled partner's neighbours.
+    const dram::RowAddr phys = chip_.toPhysical(*sampled_);
+    refreshNeighbors(phys, now);
+    if (const auto partner = chip_.coupledPartner(phys))
+        refreshNeighbors(*partner, now);
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Directed Refresh Management (DRFM) model (SS VI-B, DDR5).
+ *
+ * The MC samples an activated row on PRE; when it later issues a DRFM
+ * command, the DRAM itself refreshes the physically adjacent rows of
+ * the sampled address.  Because the mitigation runs *inside* the
+ * device, it can use the true adjacency — including the internal
+ * remap and the coupled-row relation — which is exactly why the paper
+ * recommends it for coupled-row protection.
+ */
+
+#ifndef DRAMSCOPE_CORE_PROTECT_DRFM_H
+#define DRAMSCOPE_CORE_PROTECT_DRFM_H
+
+#include <optional>
+
+#include "dram/chip.h"
+
+namespace dramscope {
+namespace core {
+
+/** DRFM controller options. */
+struct DrfmOptions
+{
+    dram::BankId bank = 0;
+
+    /** Issue a DRFM every this many activations. */
+    uint64_t interval = 8192;
+};
+
+/** In-DRAM sampler plus MC-side DRFM issue policy. */
+class DrfmController
+{
+  public:
+    DrfmController(dram::Chip &chip, DrfmOptions opts);
+
+    /**
+     * MC hook: accounts @p count activations of @p logical_row;
+     * samples the address and issues a DRFM when the interval
+     * elapses.  @p now is the current host time.
+     */
+    void onActivate(dram::RowAddr logical_row, uint64_t count,
+                    dram::NanoTime now);
+
+    /**
+     * The in-DRAM mitigation: refreshes the AIB neighbours of the
+     * sampled row and of its coupled partner, using the device's own
+     * structural knowledge.
+     */
+    void issueDrfm(dram::NanoTime now);
+
+    /** DRFM commands issued so far. */
+    uint64_t drfmCount() const { return drfm_count_; }
+
+  private:
+    void refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now);
+
+    dram::Chip &chip_;
+    DrfmOptions opts_;
+    std::optional<dram::RowAddr> sampled_;  //!< Logical address.
+    uint64_t since_last_ = 0;
+    uint64_t drfm_count_ = 0;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PROTECT_DRFM_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SECDED codec and ECC memory wrapper implementation.
+ */
+
+#include "core/protect/ecc.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+namespace {
+
+/**
+ * Hsiao-style column table: 64 distinct odd-weight 8-bit columns
+ * (56 of weight 3, then 8 of weight 5).  Odd weights guarantee that
+ * any double error produces an even-weight (hence non-column)
+ * syndrome, giving SEC-DED.
+ */
+const std::vector<uint8_t> &
+columnTable()
+{
+    static const std::vector<uint8_t> table = [] {
+        std::vector<uint8_t> cols;
+        for (const int weight : {3, 5}) {
+            for (unsigned v = 0; v < 256 && cols.size() < 64; ++v) {
+                if (std::popcount(v) == weight)
+                    cols.push_back(uint8_t(v));
+            }
+        }
+        panicIf(cols.size() != 64, "SECDED column table broken");
+        return cols;
+    }();
+    return table;
+}
+
+} // namespace
+
+uint8_t
+Secded72::column(unsigned i)
+{
+    return columnTable()[i];
+}
+
+uint8_t
+Secded72::encode(uint64_t data)
+{
+    uint8_t check = 0;
+    while (data) {
+        const unsigned i = unsigned(std::countr_zero(data));
+        check ^= column(i);
+        data &= data - 1;
+    }
+    return check;
+}
+
+Secded72::Outcome
+Secded72::decode(uint64_t &data, uint8_t check)
+{
+    const uint8_t syndrome = encode(data) ^ check;
+    if (syndrome == 0)
+        return Outcome::Clean;
+    // Check-bit columns are the unit vectors: a single check-bit
+    // error leaves the data intact.
+    if (std::popcount(syndrome) == 1)
+        return Outcome::Corrected;
+    const auto &cols = columnTable();
+    for (unsigned i = 0; i < 64; ++i) {
+        if (cols[i] == syndrome) {
+            data ^= 1ULL << i;  // May miscorrect on >= 3 errors.
+            return Outcome::Corrected;
+        }
+    }
+    return Outcome::Detected;
+}
+
+EccMemory::EccMemory(bender::Host &host) : host_(host)
+{
+    fatalIf(host_.config().rowBits % 64 != 0,
+            "EccMemory: row must be 64-bit aligned");
+}
+
+void
+EccMemory::writeRowBits(dram::BankId bank, dram::RowAddr row,
+                        const BitVec &data)
+{
+    const uint32_t words = host_.config().rowBits / 64;
+    std::vector<uint8_t> checks(words);
+    for (uint32_t w = 0; w < words; ++w) {
+        uint64_t word = 0;
+        for (unsigned b = 0; b < 64; ++b) {
+            if (data.get(size_t(w) * 64 + b))
+                word |= 1ULL << b;
+        }
+        checks[w] = Secded72::encode(word);
+    }
+    checks_[uint64_t(bank) << 32 | row] = std::move(checks);
+    host_.writeRowBits(bank, row, data);
+}
+
+BitVec
+EccMemory::readRowBits(dram::BankId bank, dram::RowAddr row,
+                       std::vector<bool> *uncorrectable)
+{
+    BitVec data = host_.readRowBits(bank, row);
+    const auto it = checks_.find(uint64_t(bank) << 32 | row);
+    if (it == checks_.end())
+        return data;  // Never written through the ECC path.
+
+    const uint32_t words = host_.config().rowBits / 64;
+    if (uncorrectable)
+        uncorrectable->assign(words, false);
+    for (uint32_t w = 0; w < words; ++w) {
+        uint64_t word = 0;
+        for (unsigned b = 0; b < 64; ++b) {
+            if (data.get(size_t(w) * 64 + b))
+                word |= 1ULL << b;
+        }
+        ++stats_.wordsRead;
+        const auto outcome = Secded72::decode(word, it->second[w]);
+        switch (outcome) {
+          case Secded72::Outcome::Clean:
+            break;
+          case Secded72::Outcome::Corrected:
+            ++stats_.corrected;
+            for (unsigned b = 0; b < 64; ++b)
+                data.set(size_t(w) * 64 + b, (word >> b) & 1ULL);
+            break;
+          case Secded72::Outcome::Detected:
+          case Secded72::Outcome::Miscorrected:
+            ++stats_.detected;
+            if (uncorrectable)
+                (*uncorrectable)[w] = true;
+            break;
+        }
+    }
+    return data;
+}
+
+} // namespace core
+} // namespace dramscope

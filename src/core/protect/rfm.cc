@@ -1,0 +1,96 @@
+/**
+ * @file
+ * RFM engine / controller implementation.
+ */
+
+#include "core/protect/rfm.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+RfmEngine::RfmEngine(dram::Chip &chip, dram::BankId bank,
+                     uint32_t table_size)
+    : chip_(chip), bank_(bank), table_size_(table_size)
+{
+    fatalIf(table_size_ == 0, "RfmEngine: empty table");
+}
+
+void
+RfmEngine::onActivate(dram::RowAddr logical_row, uint64_t count)
+{
+    auto it = table_.find(logical_row);
+    if (it != table_.end()) {
+        it->second += count;
+        return;
+    }
+    if (table_.size() < table_size_) {
+        table_.emplace(logical_row, count);
+        return;
+    }
+    // Space-saving: replace the minimum entry, inheriting its count.
+    auto min_it = std::min_element(
+        table_.begin(), table_.end(), [](const auto &a, const auto &b) {
+            return a.second < b.second;
+        });
+    const uint64_t floor = min_it->second;
+    table_.erase(min_it);
+    table_.emplace(logical_row, floor + count);
+}
+
+void
+RfmEngine::refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now)
+{
+    auto &bank = chip_.bank(bank_);
+    const auto &map = chip_.subarrayMap();
+    for (const bool upper : {false, true}) {
+        if (const auto nb = map.neighbor(phys_row, upper)) {
+            bank.restoreRow(*nb, now);
+            ++mitigations_;
+        }
+    }
+}
+
+void
+RfmEngine::onRfm(dram::NanoTime now)
+{
+    if (table_.empty())
+        return;
+    auto hot = std::max_element(
+        table_.begin(), table_.end(), [](const auto &a, const auto &b) {
+            return a.second < b.second;
+        });
+    // The device translates through its own remap and knows the
+    // coupled relation — exactly why the paper favours in-DRAM RFM
+    // mitigation for coupled-row protection (SS VI-B).
+    const dram::RowAddr phys = chip_.toPhysical(hot->first);
+    refreshNeighbors(phys, now);
+    if (const auto partner = chip_.coupledPartner(phys))
+        refreshNeighbors(*partner, now);
+    hot->second /= 2;  // Decay instead of reset: conservative.
+}
+
+RfmController::RfmController(RfmEngine &engine, uint64_t raaimt)
+    : engine_(engine), raaimt_(raaimt)
+{
+    fatalIf(raaimt_ == 0, "RfmController: zero RAAIMT");
+}
+
+void
+RfmController::onActivate(dram::RowAddr logical_row, uint64_t count,
+                          dram::NanoTime now)
+{
+    engine_.onActivate(logical_row, count);
+    raa_ += count;
+    while (raa_ >= raaimt_) {
+        raa_ -= raaimt_;
+        ++rfm_count_;
+        engine_.onRfm(now);
+    }
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Refresh Management (RFM) interface model (SS VI-B).
+ *
+ * DDR5-style split of responsibilities: the memory controller counts
+ * activations per bank (RAA counter) and issues an RFM command every
+ * RAAIMT activations; the DRAM maintains its own in-DRAM aggressor
+ * tracker (a small space-saving table, as in Mithril/DSAC-style
+ * designs) and, on RFM, refreshes the neighbours of the hottest
+ * tracked row — with full knowledge of its internal topology,
+ * including the coupled-row relation and the true physical adjacency.
+ */
+
+#ifndef DRAMSCOPE_CORE_PROTECT_RFM_H
+#define DRAMSCOPE_CORE_PROTECT_RFM_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "dram/chip.h"
+
+namespace dramscope {
+namespace core {
+
+/** In-DRAM aggressor tracker + RFM mitigation engine. */
+class RfmEngine
+{
+  public:
+    /**
+     * @param chip The device this engine lives in.
+     * @param bank Bank the engine serves.
+     * @param table_size Space-saving table entries.
+     */
+    RfmEngine(dram::Chip &chip, dram::BankId bank,
+              uint32_t table_size = 16);
+
+    /**
+     * In-DRAM view of an ACT (the device sees its own commands);
+     * @p count supports bulk accounting.
+     */
+    void onActivate(dram::RowAddr logical_row, uint64_t count);
+
+    /**
+     * RFM command: refresh the neighbours of the hottest tracked row
+     * (and of its coupled partner), then decay its counter.
+     */
+    void onRfm(dram::NanoTime now);
+
+    /** Mitigative refreshes performed. */
+    uint64_t mitigations() const { return mitigations_; }
+
+  private:
+    void refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now);
+
+    dram::Chip &chip_;
+    dram::BankId bank_;
+    uint32_t table_size_;
+    std::unordered_map<dram::RowAddr, uint64_t> table_;  //!< Logical.
+    uint64_t mitigations_ = 0;
+};
+
+/** MC-side RAA counter issuing RFMs every RAAIMT activations. */
+class RfmController
+{
+  public:
+    /**
+     * @param engine The in-DRAM engine commanded by this controller.
+     * @param raaimt Rolling accumulated ACT initial management
+     *        threshold (JEDEC term): RFM cadence in activations.
+     */
+    RfmController(RfmEngine &engine, uint64_t raaimt = 4096);
+
+    /** MC hook: accounts activations and issues RFMs when due. */
+    void onActivate(dram::RowAddr logical_row, uint64_t count,
+                    dram::NanoTime now);
+
+    /** RFM commands issued so far. */
+    uint64_t rfmCount() const { return rfm_count_; }
+
+  private:
+    RfmEngine &engine_;
+    uint64_t raaimt_;
+    uint64_t raa_ = 0;
+    uint64_t rfm_count_ = 0;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PROTECT_RFM_H

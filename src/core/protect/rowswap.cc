@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Row-swap defense implementation.
+ */
+
+#include "core/protect/rowswap.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+RowSwapDefense::RowSwapDefense(bender::Host &host, RowSwapOptions opts)
+    : host_(host), opts_(opts), next_spare_(opts.spareBase)
+{
+    fatalIf(opts_.threshold == 0, "RowSwapDefense: zero threshold");
+    fatalIf(opts_.coupledAware && opts_.coupledDistance == 0,
+            "RowSwapDefense: coupledAware needs a distance");
+}
+
+dram::RowAddr
+RowSwapDefense::resolve(dram::RowAddr row) const
+{
+    const auto it = indirection_.find(row);
+    return it == indirection_.end() ? row : it->second;
+}
+
+void
+RowSwapDefense::swapOut(dram::BankId bank, dram::RowAddr row)
+{
+    // Relocate the hot MC address to the next spare.  Data migration
+    // is modeled as a straight row read/write through the controller.
+    const dram::RowAddr from = resolve(row);
+    const dram::RowAddr to = next_spare_;
+    next_spare_ += 4;  // Keep spares apart so they never interact.
+    const BitVec data = host_.readRowBits(bank, from);
+    host_.writeRowBits(bank, to, data);
+    indirection_[row] = to;
+    counters_[row] = 0;
+    ++swaps_;
+}
+
+void
+RowSwapDefense::hammer(dram::BankId bank, dram::RowAddr row,
+                       uint64_t count)
+{
+    const uint64_t chunk = std::max<uint64_t>(1, opts_.threshold / 4);
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        const uint64_t n = std::min(chunk, remaining);
+        host_.hammer(bank, resolve(row), n);
+        remaining -= n;
+        uint64_t &ctr = counters_[row];
+        ctr += n;
+        if (ctr >= opts_.threshold) {
+            swapOut(bank, row);
+            if (opts_.coupledAware)
+                swapOut(bank, row ^ opts_.coupledDistance);
+        }
+    }
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * MC-side row-swapping defense (RRS/ScaleSRS style) and its
+ * coupled-row bypass (SS VI-A).
+ *
+ * The defense relocates a hot row to a spare once its activation
+ * count crosses a threshold, breaking the spatial correlation between
+ * aggressor and victims.  On a coupled chip this is neutralized: the
+ * defense relocates only row A, while the attacker can keep driving
+ * the same physical wordline through row B = A ^ distance, whose
+ * address was never swapped.
+ */
+
+#ifndef DRAMSCOPE_CORE_PROTECT_ROWSWAP_H
+#define DRAMSCOPE_CORE_PROTECT_ROWSWAP_H
+
+#include <unordered_map>
+
+#include "bender/host.h"
+#include "core/protect/tracker.h"
+
+namespace dramscope {
+namespace core {
+
+/** Row-swap defense options. */
+struct RowSwapOptions
+{
+    uint64_t threshold = 6000;
+
+    /** First spare row used for relocation targets. */
+    dram::RowAddr spareBase = 0;
+
+    /**
+     * When true, a swap relocates the coupled partner as well
+     * (requires the MC to know the coupled relation).
+     */
+    bool coupledAware = false;
+    uint32_t coupledDistance = 0;
+};
+
+/** MC-side indirection with threshold-triggered swaps. */
+class RowSwapDefense
+{
+  public:
+    RowSwapDefense(bender::Host &host, RowSwapOptions opts);
+
+    /** Attacker-visible hammer through the defended controller. */
+    void hammer(dram::BankId bank, dram::RowAddr row, uint64_t count);
+
+    /** Current physical target of an MC row address. */
+    dram::RowAddr resolve(dram::RowAddr row) const;
+
+    /** Swaps performed so far. */
+    uint64_t swaps() const { return swaps_; }
+
+  private:
+    void swapOut(dram::BankId bank, dram::RowAddr row);
+
+    bender::Host &host_;
+    RowSwapOptions opts_;
+    std::unordered_map<dram::RowAddr, dram::RowAddr> indirection_;
+    std::unordered_map<dram::RowAddr, uint64_t> counters_;
+    dram::RowAddr next_spare_;
+    uint64_t swaps_ = 0;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PROTECT_ROWSWAP_H

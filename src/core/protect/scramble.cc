@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Scrambler is header-only; this TU anchors the library target.
+ */
+
+#include "core/protect/scramble.h"

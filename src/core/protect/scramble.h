@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MC-side data scrambling (SS VI-B).
+ *
+ * Masks every stored bit with a pseudo-random keystream keyed by
+ * (row, column), so an attacker's carefully constructed adversarial
+ * data pattern (O13/O14) lands in the array as an effectively random
+ * pattern.  Mirrors the scrambling Intel/AMD controllers enable by
+ * default; the paper argues a row+column-keyed PRNG defeats the
+ * column-wise (horizontal) pattern dependence as well.
+ */
+
+#ifndef DRAMSCOPE_CORE_PROTECT_SCRAMBLE_H
+#define DRAMSCOPE_CORE_PROTECT_SCRAMBLE_H
+
+#include "bender/host.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace dramscope {
+namespace core {
+
+/** Scrambling memory-controller wrapper around a Host. */
+class Scrambler
+{
+  public:
+    /**
+     * @param host Underlying controller.
+     * @param key Scrambler key (boot-time random in real systems).
+     * @param row_col_keyed When false, the mask depends on the column
+     *        only (the weaker legacy behaviour the paper critiques);
+     *        when true, on both row and column.
+     */
+    Scrambler(bender::Host &host, uint64_t key, bool row_col_keyed = true)
+        : host_(host), key_(key), row_col_keyed_(row_col_keyed)
+    {
+    }
+
+    /** Writes @p data through the scrambler. */
+    void
+    writeRowBits(dram::BankId bank, dram::RowAddr row, const BitVec &data)
+    {
+        BitVec masked = data;
+        masked ^= mask(row);
+        host_.writeRowBits(bank, row, masked);
+    }
+
+    /** Reads and descrambles a row. */
+    BitVec
+    readRowBits(dram::BankId bank, dram::RowAddr row)
+    {
+        BitVec data = host_.readRowBits(bank, row);
+        data ^= mask(row);
+        return data;
+    }
+
+    /** The keystream for one row (host bit order). */
+    BitVec
+    mask(dram::RowAddr row) const
+    {
+        const auto &cfg = host_.config();
+        const uint32_t w = cfg.rdDataBits;
+        BitVec out(size_t(cfg.columnsPerRow()) * w);
+        for (uint32_t c = 0; c < cfg.columnsPerRow(); ++c) {
+            const uint64_t seed =
+                row_col_keyed_ ? hashCombine(key_, (uint64_t(row) << 20) | c)
+                               : hashCombine(key_, c);
+            const uint64_t bits = splitmix64(seed);
+            for (uint32_t i = 0; i < w; ++i) {
+                if ((bits >> i) & 1ULL)
+                    out.set(size_t(c) * w + i, true);
+            }
+        }
+        return out;
+    }
+
+    bender::Host &host() { return host_; }
+
+  private:
+    bender::Host &host_;
+    uint64_t key_;
+    bool row_col_keyed_;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PROTECT_SCRAMBLE_H

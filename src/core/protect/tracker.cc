@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Activation tracker implementation.
+ */
+
+#include "core/protect/tracker.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace core {
+
+ActivationTracker::ActivationTracker(TrackerOptions opts)
+    : opts_(opts)
+{
+    fatalIf(opts_.tableSize == 0 || opts_.threshold == 0,
+            "ActivationTracker: bad options");
+    fatalIf(opts_.coupledAware && opts_.coupledDistance == 0,
+            "ActivationTracker: coupledAware needs a distance");
+}
+
+dram::RowAddr
+ActivationTracker::canonical(dram::RowAddr row) const
+{
+    if (!opts_.coupledAware)
+        return row;
+    // Coupled pairs are (n, n + distance); fold onto the lower row so
+    // split activations land on one counter.
+    return std::min<dram::RowAddr>(row, row ^ opts_.coupledDistance);
+}
+
+std::vector<dram::RowAddr>
+ActivationTracker::onActivate(dram::RowAddr row, uint64_t count)
+{
+    const dram::RowAddr key = canonical(row);
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+        if (counters_.size() < opts_.tableSize) {
+            it = counters_.emplace(key, spill_).first;
+        } else {
+            // Misra-Gries: raise the floor instead of tracking.
+            spill_ += count;
+            return {};
+        }
+    }
+    it->second += count;
+
+    std::vector<dram::RowAddr> to_mitigate;
+    if (it->second >= opts_.threshold) {
+        it->second = spill_;
+        ++mitigations_;
+        to_mitigate.push_back(key);
+        if (opts_.coupledAware)
+            to_mitigate.push_back(key ^ opts_.coupledDistance);
+    }
+    return to_mitigate;
+}
+
+void
+ActivationTracker::reset()
+{
+    counters_.clear();
+    spill_ = 0;
+}
+
+ProtectedMemory::ProtectedMemory(bender::Host &host, TrackerOptions opts)
+    : host_(host), tracker_(opts),
+      chunk_(std::max<uint64_t>(1, opts.threshold / 4))
+{
+}
+
+void
+ProtectedMemory::mitigate(dram::BankId bank, dram::RowAddr row)
+{
+    // Victim refresh: activating the logical neighbours restores
+    // their cells.  The MC assumes +-1 logical adjacency (it cannot
+    // know the internal remap or coupling unless told).
+    const auto &cfg = host_.config();
+    bender::Program p;
+    const auto &t = cfg.timing;
+    for (const int d : {-1, +1}) {
+        const int64_t victim = int64_t(row) + d;
+        if (victim < 0 || victim >= int64_t(cfg.rowsPerBank))
+            continue;
+        p.act(bank, dram::RowAddr(victim))
+            .sleepNs(t.tRasNs)
+            .pre(bank)
+            .sleepNs(t.tRpNs);
+    }
+    host_.run(p);
+}
+
+void
+ProtectedMemory::hammer(dram::BankId bank, dram::RowAddr row,
+                        uint64_t count)
+{
+    // Chunked execution keeps the simulation fast while preserving
+    // tracker semantics: counters accumulate exactly `count`
+    // activations and mitigations fire at the same points.
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        const uint64_t n = std::min(chunk_, remaining);
+        host_.hammer(bank, row, n);
+        for (const auto victim_source : tracker_.onActivate(row, n))
+            mitigate(bank, victim_source);
+        remaining -= n;
+    }
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * One DRAM bank: sparse charge-level row storage plus the lazy
+ * activate-induced-disturbance and retention physics.
+ *
+ * Disturbance bookkeeping uses dose accumulation with evaluation
+ * barriers: aggressor activity increments per-victim-row pending
+ * counters, and flips are committed whenever the data feeding the
+ * dose computation is about to change (a write to the victim or an
+ * adjacent row), the victim row is restored (ACT/REF), or the row is
+ * observed.  Between barriers the victim and aggressor data are
+ * constant, so evaluating count * rate at the barrier is exact.
+ */
+
+#ifndef DRAMSCOPE_DRAM_BANK_H
+#define DRAMSCOPE_DRAM_BANK_H
+
+#include <unordered_map>
+
+#include "dram/config.h"
+#include "dram/geometry.h"
+#include "dram/types.h"
+#include "util/bitvec.h"
+
+namespace dramscope {
+namespace dram {
+
+/** Charge-level state and pending disturbance of one materialized row. */
+struct RowState
+{
+    /** Capacitor state per bitline: true = charged. */
+    BitVec charge;
+
+    /**
+     * Pending disturbance from the lower (index 0, row r-1) and
+     * upper (index 1, row r+1) aggressor: ACT-PRE pair count and
+     * accumulated aggressor open-row time.
+     */
+    double pendHammer[2] = {0.0, 0.0};
+    double pendPressNs[2] = {0.0, 0.0};
+
+    /** Last time this row's cells were fully restored (ACT or REF). */
+    NanoTime lastRestoreNs = 0;
+
+    /**
+     * Last time the retention scan ran; re-scans within the minimum
+     * evaluation window are redundant (the scan is monotone) and are
+     * skipped to keep per-command barriers cheap.
+     */
+    NanoTime lastRetentionScanNs = 0;
+};
+
+/** Counters exposed for tests and the power side-channel analysis. */
+struct BankStats
+{
+    uint64_t activations = 0;        //!< ACT commands accepted.
+    uint64_t wordlinesDriven = 0;    //!< Physical WLs driven (O3/O5).
+    uint64_t rowCopyEvents = 0;      //!< Charge-share copies triggered.
+    uint64_t disturbFlips = 0;       //!< Cells flipped by AIB.
+    uint64_t retentionFlips = 0;     //!< Cells flipped by leakage.
+};
+
+/**
+ * Storage and physics of a single bank.  The Chip drives it with
+ * physical row addresses; this class never sees logical addresses.
+ */
+class Bank
+{
+  public:
+    /**
+     * @param cfg Device configuration (borrowed; must outlive Bank).
+     * @param map Subarray map (borrowed, shared across banks).
+     * @param id Bank index (part of the variation hash key).
+     */
+    Bank(const DeviceConfig &cfg, const SubarrayMap &map, BankId id);
+
+    /**
+     * Restores row @p row at time @p now: commits pending disturbance
+     * and retention flips, clears pending, and refreshes the charge
+     * timestamp.  Called on ACT of the row and on REF.
+     */
+    void restoreRow(RowAddr row, NanoTime now);
+
+    /**
+     * Evaluation barrier without a restore: commits pending
+     * disturbance and retention flips of @p row but leaves the
+     * retention clock running.  Called before data feeding the dose
+     * computation changes.
+     */
+    void commitRow(RowAddr row, NanoTime now);
+
+    /**
+     * Registers one aggressor dwell of @p aggressor (ACT..PRE):
+     * increments the hammer count and open-time of both AIB
+     * neighbours.
+     * @param act_count Number of ACT-PRE pairs (bulk hammering).
+     * @param open_ns Open-row time per activation.
+     */
+    void registerAggressorDwell(RowAddr aggressor, double act_count,
+                                double open_ns, NanoTime now);
+
+    /**
+     * Applies the RowCopy charge transfer for an ACT of @p dst
+     * arriving while the bitlines still hold @p src (out-of-spec
+     * ACT-PRE-ACT).  Copies all, half (inverted) or no bits depending
+     * on the stripe relation (SS IV-C).
+     * @return true when any charge was transferred.
+     */
+    bool applyRowCopy(RowAddr src, RowAddr dst, NanoTime now);
+
+    /** Reads the charge of one cell (materializing the row). */
+    bool chargeAt(RowAddr row, BitlineIdx bl, NanoTime now);
+
+    /**
+     * Direct reference to a row's charge (materializing it).  Hot
+     * path of the RD/WR burst loops; the caller must have applied
+     * the usual barriers (an ACT of the row does).
+     */
+    BitVec &chargeRef(RowAddr row, NanoTime now);
+
+    /**
+     * Writes data bits [first_bl, first_bl + bits.size()) of @p row.
+     * Caller must have applied commit barriers (Chip does).
+     */
+    void writeCharge(RowAddr row, BitlineIdx first_bl,
+                     const std::vector<bool> &bits, NanoTime now);
+
+    /** Writes one cell's charge (hot path of the RD/WR data path). */
+    void setChargeCell(RowAddr row, BitlineIdx bl, bool charge,
+                       NanoTime now);
+
+    /** Data value of cell (charge interpreted through polarity). */
+    bool dataAt(RowAddr row, BitlineIdx bl, NanoTime now);
+
+    /** Converts a data bit to charge for @p row's polarity. */
+    bool dataToCharge(RowAddr row, bool data) const;
+
+    /** Converts a charge bit to data for @p row's polarity. */
+    bool chargeToData(RowAddr row, bool charge) const;
+
+    /**
+     * Commits and restores every materialized row (REF semantics;
+     * the model refreshes the whole bank per REF, see DESIGN.md).
+     */
+    void refreshAll(NanoTime now);
+
+    /** Access to counters. */
+    const BankStats &stats() const { return stats_; }
+
+    /** Number of materialized rows (tests / memory accounting). */
+    size_t materializedRows() const { return rows_.size(); }
+
+    /** The subarray map (convenience for the Chip). */
+    const SubarrayMap &subarrayMap() const { return map_; }
+
+  private:
+    /** Returns the row state, materializing discharged cells. */
+    RowState &rowState(RowAddr row, NanoTime now);
+
+    /** Commits retention flips of @p rs (idempotent discharge). */
+    void commitRetention(RowAddr row, RowState &rs, NanoTime now);
+
+    /** Commits disturbance flips of @p rs and clears pending. */
+    void commitDisturb(RowAddr row, RowState &rs);
+
+    /** Per-cell disturbance dose factors common to both mechanisms. */
+    double patternFactor(const BitVec &vic, const BitVec *aggr,
+                         BitlineIdx bl, bool victim_charged) const;
+
+    /** Uniform per-cell flip threshold for a mechanism. */
+    double threshold(RowAddr row, BitlineIdx bl,
+                     AibMechanism mech) const;
+
+    /** Per-cell retention time in ns at the configured temperature. */
+    double retentionNs(RowAddr row, BitlineIdx bl) const;
+
+    const DeviceConfig &cfg_;
+    const SubarrayMap &map_;
+    BankId id_;
+    std::unordered_map<RowAddr, RowState> rows_;
+    BankStats stats_;
+    double tempDoseScale_ = 1.0;  //!< Precomputed temperature factor.
+};
+
+} // namespace dram
+} // namespace dramscope
+
+#endif // DRAMSCOPE_DRAM_BANK_H

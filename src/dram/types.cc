@@ -1,0 +1,63 @@
+/**
+ * @file
+ * String conversions for DRAM enums.
+ */
+
+#include "dram/types.h"
+
+namespace dramscope {
+namespace dram {
+
+const char *
+toString(Vendor v)
+{
+    switch (v) {
+      case Vendor::A: return "Mfr. A";
+      case Vendor::B: return "Mfr. B";
+      case Vendor::C: return "Mfr. C";
+    }
+    return "?";
+}
+
+const char *
+toString(DramType t)
+{
+    switch (t) {
+      case DramType::DDR4: return "DDR4";
+      case DramType::HBM2: return "HBM2";
+    }
+    return "?";
+}
+
+const char *
+toString(ChipWidth w)
+{
+    switch (w) {
+      case ChipWidth::X4: return "x4";
+      case ChipWidth::X8: return "x8";
+    }
+    return "?";
+}
+
+const char *
+toString(GateType g)
+{
+    switch (g) {
+      case GateType::Neighboring: return "neighboring";
+      case GateType::Passing: return "passing";
+    }
+    return "?";
+}
+
+const char *
+toString(CellSite s)
+{
+    switch (s) {
+      case CellSite::Top: return "top";
+      case CellSite::Bottom: return "bottom";
+    }
+    return "?";
+}
+
+} // namespace dram
+} // namespace dramscope

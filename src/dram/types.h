@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental types shared across the DRAM device model.
+ */
+
+#ifndef DRAMSCOPE_DRAM_TYPES_H
+#define DRAMSCOPE_DRAM_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace dramscope {
+namespace dram {
+
+/** Row index within a bank (logical, i.e. pre-internal-remap). */
+using RowAddr = uint32_t;
+
+/** Column index within a row, in units of one RD burst. */
+using ColAddr = uint32_t;
+
+/** Bank index within a chip. */
+using BankId = uint16_t;
+
+/** Physical bitline index within a row (post data swizzle). */
+using BitlineIdx = uint32_t;
+
+/** Simulated time in nanoseconds. */
+using NanoTime = int64_t;
+
+/** DRAM manufacturers as anonymized in the paper. */
+enum class Vendor { A, B, C };
+
+/** Device families tested in the paper. */
+enum class DramType { DDR4, HBM2 };
+
+/** Chip I/O width. */
+enum class ChipWidth { X4 = 4, X8 = 8 };
+
+/**
+ * Position of a cell within its shared P-substrate pair in the 6F^2
+ * layout (Figure 11 of the paper).  Top and bottom cells alternate
+ * along a wordline and the assignment reverses between even and odd
+ * wordlines.
+ */
+enum class CellSite { Top, Bottom };
+
+/**
+ * Relation of an adjacent wordline to a given cell: the WL that shares
+ * the cell's P-substrate is the neighboring gate, the WL on the other
+ * side is the passing gate (Figure 2 of the paper).
+ */
+enum class GateType { Neighboring, Passing };
+
+/**
+ * Whether a cell encodes logical 1 as the charged state (true-cell)
+ * or the discharged state (anti-cell).
+ */
+enum class CellPolarity { True, Anti };
+
+/** The two activate-induced-bitflip mechanisms studied in the paper. */
+enum class AibMechanism { RowHammer, RowPress };
+
+/** Pretty-printing helpers. */
+const char *toString(Vendor v);
+const char *toString(DramType t);
+const char *toString(ChipWidth w);
+const char *toString(GateType g);
+const char *toString(CellSite s);
+
+} // namespace dram
+} // namespace dramscope
+
+#endif // DRAMSCOPE_DRAM_TYPES_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DIMM implementation.
+ */
+
+#include "mapping/dimm.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace mapping {
+
+namespace {
+
+uint32_t
+rowAddressBits(uint32_t rows_per_bank)
+{
+    fatalIf(!std::has_single_bit(rows_per_bank),
+            "Dimm: rowsPerBank must be a power of two");
+    return uint32_t(std::countr_zero(rows_per_bank));
+}
+
+} // namespace
+
+Dimm::Dimm(dram::DeviceConfig chip_cfg, bool rcd_inversion,
+           bool identity_twist)
+    : cfg_(std::move(chip_cfg)),
+      rcd_(rowAddressBits(cfg_.rowsPerBank), rcd_inversion)
+{
+    const uint32_t n_chips = 64 / uint32_t(cfg_.width);
+    for (uint32_t c = 0; c < n_chips; ++c) {
+        chips_.push_back(std::make_unique<dram::Chip>(cfg_));
+        if (identity_twist)
+            twists_.emplace_back(cfg_.width, 0u);
+        else
+            twists_.emplace_back(cfg_.width, c);
+    }
+}
+
+dram::RowAddr
+Dimm::chipRow(uint32_t c, dram::RowAddr host_row) const
+{
+    return rcd_.chipRow(host_row, isBSide(c));
+}
+
+dram::RowAddr
+Dimm::hostRowFor(uint32_t c, dram::RowAddr chip_row) const
+{
+    return rcd_.hostRowFor(chip_row, isBSide(c));
+}
+
+void
+Dimm::act(dram::BankId b, dram::RowAddr host_row, dram::NanoTime now)
+{
+    for (uint32_t c = 0; c < chipCount(); ++c)
+        chips_[c]->act(b, chipRow(c, host_row), now);
+}
+
+void
+Dimm::pre(dram::BankId b, dram::NanoTime now)
+{
+    for (auto &chip : chips_)
+        chip->pre(b, now);
+}
+
+void
+Dimm::refresh(dram::NanoTime now)
+{
+    for (auto &chip : chips_)
+        chip->refresh(now);
+}
+
+std::vector<uint64_t>
+Dimm::read(dram::BankId b, dram::ColAddr col, dram::NanoTime now)
+{
+    std::vector<uint64_t> out(chipCount());
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        const uint64_t chip_data = chips_[c]->read(b, col, now);
+        out[c] = twists_[c].toHost(chip_data, cfg_.rdDataBits);
+    }
+    return out;
+}
+
+void
+Dimm::write(dram::BankId b, dram::ColAddr col,
+            const std::vector<uint64_t> &host_data, dram::NanoTime now)
+{
+    fatalIf(host_data.size() != chipCount(),
+            "Dimm::write: data vector size mismatch");
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        chips_[c]->write(b, col,
+                         twists_[c].toChip(host_data[c], cfg_.rdDataBits),
+                         now);
+    }
+}
+
+} // namespace mapping
+} // namespace dramscope

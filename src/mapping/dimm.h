@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A registered DIMM: a rank of identical chips behind an RCD, with
+ * per-chip DQ twisting.  The 64-bit data bus splits evenly across
+ * chips (16 x4 chips or 8 x8 chips per rank).
+ */
+
+#ifndef DRAMSCOPE_MAPPING_DIMM_H
+#define DRAMSCOPE_MAPPING_DIMM_H
+
+#include <memory>
+#include <vector>
+
+#include "dram/chip.h"
+#include "mapping/dq_twist.h"
+#include "mapping/rcd.h"
+
+namespace dramscope {
+namespace mapping {
+
+/** One rank of chips behind an RCD. */
+class Dimm
+{
+  public:
+    /**
+     * @param chip_cfg Configuration shared by every chip.
+     * @param rcd_inversion Enable the B-side address inversion.
+     * @param identity_twist Route every chip's DQ straight (test aid).
+     */
+    explicit Dimm(dram::DeviceConfig chip_cfg, bool rcd_inversion = true,
+                  bool identity_twist = false);
+
+    /** Number of chips in the rank. */
+    uint32_t chipCount() const { return uint32_t(chips_.size()); }
+
+    /** True when chip @p c sits on the RCD's B side. */
+    bool isBSide(uint32_t c) const { return c >= chipCount() / 2; }
+
+    /** Broadcast ACT: each chip receives its side's row address. */
+    void act(dram::BankId b, dram::RowAddr host_row, dram::NanoTime now);
+
+    /** Broadcast PRE. */
+    void pre(dram::BankId b, dram::NanoTime now);
+
+    /** Broadcast REF. */
+    void refresh(dram::NanoTime now);
+
+    /**
+     * Reads the host-visible RD_data of every chip (DQ twist
+     * applied).  The vector is indexed by chip.
+     */
+    std::vector<uint64_t> read(dram::BankId b, dram::ColAddr col,
+                               dram::NanoTime now);
+
+    /** Writes per-chip host-visible RD_data (DQ twist applied). */
+    void write(dram::BankId b, dram::ColAddr col,
+               const std::vector<uint64_t> &host_data,
+               dram::NanoTime now);
+
+    /** Row address chip @p c receives for host row @p host_row. */
+    dram::RowAddr chipRow(uint32_t c, dram::RowAddr host_row) const;
+
+    /** Host row that makes chip @p c see @p chip_row. */
+    dram::RowAddr hostRowFor(uint32_t c, dram::RowAddr chip_row) const;
+
+    /** The RCD model. */
+    const Rcd &rcd() const { return rcd_; }
+
+    /** DQ twist of chip @p c. */
+    const DqTwist &twist(uint32_t c) const { return twists_.at(c); }
+
+    /** Direct chip access (single-chip experiments, tests). */
+    dram::Chip &chip(uint32_t c) { return *chips_.at(c); }
+
+    /** Chip configuration. */
+    const dram::DeviceConfig &config() const { return cfg_; }
+
+  private:
+    dram::DeviceConfig cfg_;
+    Rcd rcd_;
+    std::vector<std::unique_ptr<dram::Chip>> chips_;
+    std::vector<DqTwist> twists_;
+};
+
+} // namespace mapping
+} // namespace dramscope
+
+#endif // DRAMSCOPE_MAPPING_DIMM_H

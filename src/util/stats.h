@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Small statistics helpers used by the characterization suite.
+ */
+
+#ifndef DRAMSCOPE_UTIL_STATS_H
+#define DRAMSCOPE_UTIL_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/log.h"
+
+namespace dramscope {
+
+/** Streaming mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Adds one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / double(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** Number of samples so far. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / double(n_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Ratio of two counters; the core metric behind every BER figure. */
+class BitErrorRate
+{
+  public:
+    /** Records @p flipped errors out of @p tested cells. */
+    void
+    add(uint64_t flipped, uint64_t tested)
+    {
+        flipped_ += flipped;
+        tested_ += tested;
+    }
+
+    /** Merges another accumulator. */
+    void
+    merge(const BitErrorRate &other)
+    {
+        flipped_ += other.flipped_;
+        tested_ += other.tested_;
+    }
+
+    /** Total flipped bits. */
+    uint64_t flipped() const { return flipped_; }
+
+    /** Total tested bits. */
+    uint64_t tested() const { return tested_; }
+
+    /** flipped / tested, 0 when nothing was tested. */
+    double
+    value() const
+    {
+        return tested_ ? double(flipped_) / double(tested_) : 0.0;
+    }
+
+  private:
+    uint64_t flipped_ = 0;
+    uint64_t tested_ = 0;
+};
+
+/** Fixed-width histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /** @param bins Number of buckets; @param lo/@param hi range. */
+    Histogram(size_t bins, double lo, double hi)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+        fatalIf(bins == 0 || !(hi > lo), "Histogram: bad shape");
+    }
+
+    /** Adds a sample; out-of-range samples clamp to the edge bins. */
+    void
+    add(double x)
+    {
+        const double t = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<int64_t>(t * double(counts_.size()));
+        idx = std::clamp<int64_t>(idx, 0, int64_t(counts_.size()) - 1);
+        ++counts_[size_t(idx)];
+        ++total_;
+    }
+
+    /** Bucket count. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Samples in bucket @p i. */
+    uint64_t count(size_t i) const { return counts_.at(i); }
+
+    /** Total samples. */
+    uint64_t total() const { return total_; }
+
+    /** Center value of bucket @p i. */
+    double
+    binCenter(size_t i) const
+    {
+        const double w = (hi_ - lo_) / double(counts_.size());
+        return lo_ + (double(i) + 0.5) * w;
+    }
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Median of a sample vector (copies and sorts; characterization data
+ * sets here are small).
+ */
+inline double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace dramscope
+
+#endif // DRAMSCOPE_UTIL_STATS_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table and CSV writers for bench output.
+ *
+ * Every bench binary prints the rows/series of the paper table or
+ * figure it reproduces through these helpers, so the output format is
+ * uniform across the harness.
+ */
+
+#ifndef DRAMSCOPE_UTIL_TABLE_H
+#define DRAMSCOPE_UTIL_TABLE_H
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dramscope {
+
+/** Simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats a double with @p precision digits. */
+    static std::string num(double v, int precision = 4);
+
+    /** Convenience: formats an integer. */
+    static std::string num(uint64_t v);
+    static std::string num(int64_t v);
+    static std::string num(int v) { return num(int64_t(v)); }
+
+    /** Renders the table to a string. */
+    std::string render() const;
+
+    /** Prints the table to stdout. */
+    void print() const;
+
+    /** Writes the table as CSV to @p path. */
+    void writeCsv(const std::string &path) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a section banner used between bench sub-results. */
+void printBanner(const std::string &title);
+
+} // namespace dramscope
+
+#endif // DRAMSCOPE_UTIL_TABLE_H

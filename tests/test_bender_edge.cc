@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Bender program/executor edge cases: fast-path detection boundaries,
+ * loop semantics, and command accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "dram/chip.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using bender::Program;
+
+class BenderEdgeTest : public ::testing::Test
+{
+  protected:
+    BenderEdgeTest()
+        : cfg_(testutil::tinyPlain()), chip_(cfg_), host_(chip_)
+    {
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Chip chip_;
+    bender::Host host_;
+};
+
+TEST_F(BenderEdgeTest, MixedRowLoopStillExecutesCorrectly)
+{
+    // A loop body touching two different rows cannot use the bulk
+    // path; dose accounting must still be exact.
+    host_.writeRowPattern(0, 59, ~0ULL);
+    host_.writeRowPattern(0, 61, ~0ULL);
+    host_.writeRowPattern(0, 60, ~0ULL);
+    host_.writeRowPattern(0, 58, 0);
+    host_.writeRowPattern(0, 62, 0);
+
+    Program p;
+    p.loopBegin(150000)
+        .act(0, 58)
+        .sleepNs(33.75)
+        .pre(0)
+        .sleepNs(13.75)
+        .act(0, 62)
+        .sleepNs(33.75)
+        .pre(0)
+        .sleepNs(13.75)
+        .loopEnd();
+    host_.run(p);
+
+    // Rows 59 and 61 each received 150K single-sided doses.
+    for (dram::RowAddr v : {59u, 61u}) {
+        const BitVec row = host_.readRowBits(0, v);
+        EXPECT_GT(row.size() - row.popcount(), 5u) << v;
+    }
+    // Row 60 is adjacent to neither aggressor... it is adjacent to
+    // both 59 and 61, which were never activated: zero flips.
+    const BitVec mid = host_.readRowBits(0, 60);
+    EXPECT_EQ(mid.size() - mid.popcount(), 0u);
+}
+
+TEST_F(BenderEdgeTest, LoopCountZeroIsANop)
+{
+    Program p;
+    p.loopBegin(0).act(0, 5).pre(0).loopEnd();
+    const auto r = host_.run(p);
+    EXPECT_EQ(r.commandsIssued, 0u);
+    EXPECT_EQ(chip_.stats().acts, 0u);
+}
+
+TEST_F(BenderEdgeTest, LoopWithLeadingNopFallsBackAndMatches)
+{
+    // A NOP before the ACT breaks the bulk pattern; both paths must
+    // produce identical device state.
+    auto run = [&](bool leading_nop) {
+        dram::Chip chip(cfg_);
+        bender::Host host(chip);
+        host.writeRowPattern(0, 60, ~0ULL);
+        host.writeRowPattern(0, 61, 0);
+        Program p;
+        p.loopBegin(50000);
+        if (leading_nop)
+            p.nop(1);
+        p.act(0, 61).sleepNs(33.75).pre(0).sleepNs(12.5);
+        p.loopEnd();
+        host.run(p);
+        host.hammer(0, 61, 250000);
+        return host.readRowBits(0, 60);
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST_F(BenderEdgeTest, RefInsideLoopExecutes)
+{
+    Program p;
+    p.loopBegin(3).ref().sleepNs(350).loopEnd();
+    host_.run(p);
+    EXPECT_EQ(chip_.stats().refs, 3u);
+}
+
+TEST_F(BenderEdgeTest, CommandsIssuedCountsLoopIterations)
+{
+    Program p;
+    p.loopBegin(100)
+        .act(0, 61)
+        .sleepNs(33.75)
+        .pre(0)
+        .sleepNs(13.75)
+        .loopEnd();
+    const auto r = host_.run(p);
+    EXPECT_EQ(r.commandsIssued, 200u);
+    EXPECT_EQ(chip_.stats().acts, 100u);
+    EXPECT_EQ(chip_.stats().pres, 100u);
+}
+
+TEST_F(BenderEdgeTest, WriteColumnsTouchesOnlyRequestedColumns)
+{
+    host_.writeRowPattern(0, 7, ~0ULL);
+    host_.writeColumns(0, 7, {1, 3}, 0);
+    const auto cols = host_.readRow(0, 7);
+    const uint64_t mask = (1ULL << cfg_.rdDataBits) - 1;
+    for (size_t c = 0; c < cols.size(); ++c) {
+        if (c == 1 || c == 3)
+            EXPECT_EQ(cols[c], 0u) << c;
+        else
+            EXPECT_EQ(cols[c], mask) << c;
+    }
+}
+
+TEST_F(BenderEdgeTest, ReadColumnsReturnsInRequestOrder)
+{
+    std::vector<uint64_t> data(cfg_.columnsPerRow());
+    for (size_t c = 0; c < data.size(); ++c)
+        data[c] = c + 1;
+    host_.writeRow(0, 9, data);
+    const auto out = host_.readColumns(0, 9, {5, 2, 7});
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 6u);
+    EXPECT_EQ(out[1], 3u);
+    EXPECT_EQ(out[2], 8u);
+}
+
+TEST_F(BenderEdgeTest, HammerZeroCountIsHarmless)
+{
+    host_.hammer(0, 61, 0);
+    EXPECT_EQ(chip_.stats().acts, 0u);
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Characterization suite tests: the figure shapes on the tiny config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/charact.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using core::CharactOptions;
+using core::Characterization;
+using dram::AibMechanism;
+
+class CharactTest : public ::testing::Test
+{
+  protected:
+    CharactTest()
+        : cfg_(testutil::tinyPlain()), chip_(cfg_), host_(chip_)
+    {
+        opts_.victimRows = 24;
+        opts_.baseRow = 300;  // Section 1, away from edge subarrays.
+        charact_ = std::make_unique<Characterization>(
+            host_,
+            core::PhysMap::fromSwizzle(chip_.swizzle(),
+                                       cfg_.columnsPerRow(),
+                                       cfg_.rdDataBits),
+            opts_);
+    }
+
+    static double
+    sumParity(const std::vector<double> &ber, int parity)
+    {
+        double sum = 0;
+        for (size_t k = 0; k < ber.size(); ++k) {
+            if (int(k & 1) == parity)
+                sum += ber[k];
+        }
+        return sum;
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Chip chip_;
+    bender::Host host_;
+    CharactOptions opts_;
+    std::unique_ptr<Characterization> charact_;
+};
+
+TEST_F(CharactTest, Fig12HammerAlternatesWithPhysIndex)
+{
+    const auto ber = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, /*data1=*/true, /*upper=*/true);
+    ASSERT_EQ(ber.size(), 32u);
+    EXPECT_GT(sumParity(ber, 0), 3.0 * sumParity(ber, 1));
+}
+
+TEST_F(CharactTest, Fig12AlternationReversesWithDirection)
+{
+    const auto upper = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, true);
+    const auto lower = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, false);
+    EXPECT_GT(sumParity(upper, 0), 3.0 * sumParity(upper, 1));
+    EXPECT_GT(sumParity(lower, 1), 3.0 * sumParity(lower, 0));
+}
+
+TEST_F(CharactTest, Fig12AlternationReversesWithWrittenValue)
+{
+    const auto ones = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, true);
+    const auto zeros = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, false, true);
+    EXPECT_GT(sumParity(ones, 0), 3.0 * sumParity(ones, 1));
+    EXPECT_GT(sumParity(zeros, 1), 3.0 * sumParity(zeros, 0));
+}
+
+TEST_F(CharactTest, Fig12AlternationReversesWithWordlineParity)
+{
+    const auto even = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, true, 32, /*even_wl=*/true);
+    const auto odd = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, true, 32, /*even_wl=*/false);
+    EXPECT_GT(sumParity(even, 0), 3.0 * sumParity(even, 1));
+    EXPECT_GT(sumParity(odd, 1), 3.0 * sumParity(odd, 0));
+}
+
+TEST_F(CharactTest, Fig12PressOnlyChargedAndOppositePhase)
+{
+    // O7: RowPress flips only the charged state, and its alternation
+    // phase is opposite to RowHammer's (footnote 7).
+    const auto press1 = charact_->berVsPhysIndex(
+        AibMechanism::RowPress, true, true);
+    const auto press0 = charact_->berVsPhysIndex(
+        AibMechanism::RowPress, false, true);
+    const double total0 =
+        std::accumulate(press0.begin(), press0.end(), 0.0);
+    EXPECT_EQ(total0, 0.0);
+    // Charged press flips on the opposite parity vs charged hammer.
+    const auto hammer1 = charact_->berVsPhysIndex(
+        AibMechanism::RowHammer, true, true);
+    EXPECT_GT(sumParity(press1, 1), 3.0 * sumParity(press1, 0));
+    EXPECT_GT(sumParity(hammer1, 0), 3.0 * sumParity(hammer1, 1));
+}
+
+TEST_F(CharactTest, Fig13GateTypesSeparate)
+{
+    const auto hammer = charact_->gateTypeBer(AibMechanism::RowHammer);
+    // O9/O10: both gate types flip cells, each for one charge state.
+    EXPECT_GT(hammer.chargedGateA, 5.0 * hammer.chargedGateB);
+    EXPECT_GT(hammer.dischargedGateB, 5.0 * hammer.dischargedGateA);
+    EXPECT_GT(hammer.chargedGateA, 0.0);
+    EXPECT_GT(hammer.dischargedGateB, 0.0);
+
+    const auto press = charact_->gateTypeBer(AibMechanism::RowPress);
+    // Press: only charged cells, opposite gate relation to hammer.
+    EXPECT_EQ(press.dischargedGateA, 0.0);
+    EXPECT_EQ(press.dischargedGateB, 0.0);
+    EXPECT_GT(press.chargedGateB, 5.0 * press.chargedGateA);
+}
+
+TEST_F(CharactTest, Fig10EdgeSubarraysShowLowerBer)
+{
+    // Aggressors (victim = aggr + 1 in the same subarray).
+    std::vector<dram::RowAddr> edge = {4, 12, 20, 28};        // Sub 0.
+    std::vector<dram::RowAddr> typical = {52, 60, 68, 76};    // Sub 1.
+    const auto r = charact_->edgeVsTypical(typical, edge);
+    EXPECT_LT(r.edgeAggr0Vic1, r.typicalAggr0Vic1);
+    EXPECT_LT(r.edgeAggr1Vic0, r.typicalAggr1Vic0);
+    // O6: the edge gap is wider when the aggressor holds data 1.
+    const double gap0 = r.edgeAggr0Vic1 / r.typicalAggr0Vic1;
+    const double gap1 = r.edgeAggr1Vic0 / r.typicalAggr1Vic0;
+    EXPECT_LT(gap1, gap0);
+}
+
+TEST_F(CharactTest, Fig14aVictimNeighborRatios)
+{
+    const double d1 = charact_->relativeBerVictimNeighbors(false, true,
+                                                           false);
+    const double d2 = charact_->relativeBerVictimNeighbors(false, false,
+                                                           true);
+    const double both = charact_->relativeBerVictimNeighbors(false, true,
+                                                             true);
+    // O11: distance-2 influence exceeds distance-1; both compound.
+    EXPECT_GT(d1, 0.95);
+    EXPECT_GT(d2, d1);
+    EXPECT_GT(both, d2 * 0.95);
+    EXPECT_NEAR(d2, 1.54, 0.35);
+}
+
+TEST_F(CharactTest, Fig14bAggressorNeighborRatios)
+{
+    const double a0 = charact_->relativeBerAggrNeighbors(false, true,
+                                                         false, false);
+    const double a1 = charact_->relativeBerAggrNeighbors(false, false,
+                                                         true, false);
+    const double a2 = charact_->relativeBerAggrNeighbors(false, false,
+                                                         false, true);
+    // O12: all suppress; influence strongest closest to the victim.
+    EXPECT_LT(a0, 0.9);
+    EXPECT_LT(a1, 0.9);
+    EXPECT_LT(a2, 0.9);
+    EXPECT_NEAR(a0, 0.58, 0.2);
+    EXPECT_NEAR(a1, 0.46, 0.2);
+    EXPECT_NEAR(a2, 0.38, 0.2);
+}
+
+TEST_F(CharactTest, Fig15RelativeHcntDrops)
+{
+    const double d1 = charact_->relativeHcnt(false, true, false);
+    const double d2 = charact_->relativeHcnt(false, false, true);
+    const double both = charact_->relativeHcnt(false, true, true);
+    // O13: opposite-valued neighbours lower Hcnt; distance-2 more.
+    EXPECT_LT(d1, 1.0);
+    EXPECT_LT(d2, d1);
+    EXPECT_LE(both, d2);
+    EXPECT_GT(both, 0.3);
+}
+
+TEST_F(CharactTest, Fig16WorstPatternIs0x33_0xCC)
+{
+    const double baseline = charact_->patternBer(0xF, 0x0);
+    const double worst = charact_->patternBer(0x3, 0xC);
+    const double stripe = charact_->patternBer(0x5, 0xA);
+    ASSERT_GT(baseline, 0.0);
+    // O14: the 2-bit repeating complementary pattern beats both the
+    // solid baseline and the 1-bit alternating pattern.
+    EXPECT_GT(worst / baseline, 1.15);
+    EXPECT_GT(worst, stripe);
+}
+
+TEST_F(CharactTest, Fig16SamePolarityAggressorIsWeaker)
+{
+    // A non-complementary aggressor triggers the joint suppression.
+    const double complementary = charact_->patternBer(0x3, 0xC);
+    const double matching = charact_->patternBer(0x3, 0x3);
+    EXPECT_GT(complementary, matching);
+}
+
+class CharactParamTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{
+};
+
+TEST_P(CharactParamTest, HammerAlternationHoldsForEveryPanel)
+{
+    // Property sweep over (victim data, aggressor direction): the
+    // expected flip parity follows XOR of the three panel knobs
+    // (O8) for even-WL victims.
+    const auto [data_one, upper] = GetParam();
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    CharactOptions opts;
+    opts.victimRows = 16;
+    opts.baseRow = 300;
+    Characterization charact(
+        host,
+        core::PhysMap::fromSwizzle(chip.swizzle(), cfg.columnsPerRow(),
+                                   cfg.rdDataBits),
+        opts);
+
+    const auto ber = charact.berVsPhysIndex(AibMechanism::RowHammer,
+                                            data_one, upper);
+    double even = 0, odd = 0;
+    for (size_t k = 0; k < ber.size(); ++k)
+        ((k & 1) == 0 ? even : odd) += ber[k];
+
+    // Charged victim + upper aggressor flips even bitlines; each knob
+    // flip toggles the parity.
+    const bool expect_even = !(data_one ^ upper);
+    if (expect_even)
+        EXPECT_GT(even, 3.0 * odd);
+    else
+        EXPECT_GT(odd, 3.0 * even);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPanels, CharactParamTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "data1" : "data0") +
+               (std::get<1>(info.param) ? "_upper" : "_lower");
+    });
+
+} // namespace
+} // namespace dramscope

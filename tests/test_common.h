@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the DRAMScope test suite.
+ */
+
+#ifndef DRAMSCOPE_TESTS_TEST_COMMON_H
+#define DRAMSCOPE_TESTS_TEST_COMMON_H
+
+#include "dram/config.h"
+
+namespace dramscope {
+namespace testutil {
+
+/** Tiny config with remap and coupling disabled: pure physics tests. */
+inline dram::DeviceConfig
+tinyPlain()
+{
+    dram::DeviceConfig cfg = dram::makeTinyConfig();
+    cfg.name = "tiny-plain";
+    cfg.rowRemap = dram::RowRemapScheme::None;
+    cfg.coupledRowDistance.reset();
+    cfg.validate();
+    return cfg;
+}
+
+/** Tiny config variant with an identity swizzle. */
+inline dram::DeviceConfig
+tinyIdentitySwizzle()
+{
+    dram::DeviceConfig cfg = tinyPlain();
+    cfg.name = "tiny-identity";
+    cfg.swizzlePerm = {0, 1, 2, 3, 4, 5, 6, 7};
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace testutil
+} // namespace dramscope
+
+#endif // DRAMSCOPE_TESTS_TEST_COMMON_H

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * SECDED codec and ECC-memory tests, plus templating analysis tests
+ * (SS VI-A/VI-B extensions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attack/templating.h"
+#include "core/patterns.h"
+#include "core/protect/ecc.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using core::Secded72;
+
+TEST(Secded, CleanWordsDecodeClean)
+{
+    Rng rng(42);
+    for (int k = 0; k < 1000; ++k) {
+        uint64_t data = rng.next();
+        const uint8_t check = Secded72::encode(data);
+        uint64_t received = data;
+        EXPECT_EQ(Secded72::decode(received, check),
+                  Secded72::Outcome::Clean);
+        EXPECT_EQ(received, data);
+    }
+}
+
+TEST(Secded, CorrectsEverySingleBitError)
+{
+    Rng rng(43);
+    for (int k = 0; k < 100; ++k) {
+        const uint64_t data = rng.next();
+        const uint8_t check = Secded72::encode(data);
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            uint64_t received = data ^ (1ULL << bit);
+            EXPECT_EQ(Secded72::decode(received, check),
+                      Secded72::Outcome::Corrected);
+            EXPECT_EQ(received, data) << "bit " << bit;
+        }
+    }
+}
+
+TEST(Secded, ToleratesCheckBitErrors)
+{
+    const uint64_t data = 0x0123456789ABCDEFULL;
+    const uint8_t check = Secded72::encode(data);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        uint64_t received = data;
+        EXPECT_EQ(Secded72::decode(received, uint8_t(check ^ (1u << bit))),
+                  Secded72::Outcome::Corrected);
+        EXPECT_EQ(received, data);
+    }
+}
+
+TEST(Secded, DetectsEveryDoubleBitError)
+{
+    Rng rng(44);
+    for (int k = 0; k < 20; ++k) {
+        const uint64_t data = rng.next();
+        const uint8_t check = Secded72::encode(data);
+        for (unsigned a = 0; a < 64; a += 7) {
+            for (unsigned b = a + 1; b < 64; b += 5) {
+                uint64_t received =
+                    data ^ (1ULL << a) ^ (1ULL << b);
+                EXPECT_EQ(Secded72::decode(received, check),
+                          Secded72::Outcome::Detected)
+                    << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(EccMemory, RoundtripAndCorrectionOfInjectedError)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::EccMemory ecc(host);
+
+    BitVec data(cfg.rowBits);
+    for (size_t i = 0; i < data.size(); i += 3)
+        data.set(i, true);
+    ecc.writeRowBits(0, 9, data);
+
+    // Inject a single-bit error behind the controller's back.
+    BitVec corrupted = host.readRowBits(0, 9);
+    corrupted.flip(100);
+    host.writeRowBits(0, 9, corrupted);
+
+    const BitVec read = ecc.readRowBits(0, 9);
+    EXPECT_EQ(read, data);
+    EXPECT_EQ(ecc.stats().corrected, 1u);
+    EXPECT_EQ(ecc.stats().detected, 0u);
+}
+
+TEST(EccMemory, FlagsDoubleErrorsUncorrectable)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::EccMemory ecc(host);
+
+    BitVec data(cfg.rowBits, true);
+    ecc.writeRowBits(0, 9, data);
+    BitVec corrupted = host.readRowBits(0, 9);
+    corrupted.flip(10);
+    corrupted.flip(20);  // Same 64-bit word.
+    host.writeRowBits(0, 9, corrupted);
+
+    std::vector<bool> due;
+    ecc.readRowBits(0, 9, &due);
+    EXPECT_EQ(ecc.stats().detected, 1u);
+    EXPECT_TRUE(due.at(0));
+}
+
+TEST(EccMemory, MitigatesSparseHammerFlips)
+{
+    // A mild attack leaves <= 1 flip per 64-bit word most of the
+    // time; SECDED recovers the data.
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::EccMemory ecc(host);
+
+    const BitVec ones(cfg.rowBits, true);
+    ecc.writeRowBits(0, 60, ones);
+    host.writeRowPattern(0, 61, 0);
+    host.hammer(0, 61, 30000);  // Mild: ~1% BER on one gate phase.
+
+    const BitVec read = ecc.readRowBits(0, 60);
+    const size_t residual = read.size() - read.popcount();
+    const BitVec raw = host.readRowBits(0, 60);
+    const size_t raw_flips = raw.size() - raw.popcount();
+    EXPECT_GE(raw_flips, 1u);
+    EXPECT_LT(residual, raw_flips);
+}
+
+TEST(Templating, CouplingRaisesReachability)
+{
+    // SS VI-A: coupled-row activation increases the probability of a
+    // successful massaging phase.
+    const dram::DeviceConfig cfg = dram::makePreset("B_x4_2019");
+    core::TemplatingOptions opts;
+    opts.trials = 20000;
+    opts.useCoupling = true;
+    const auto with = core::simulateTemplating(cfg, opts);
+    opts.useCoupling = false;
+    const auto without = core::simulateTemplating(cfg, opts);
+
+    EXPECT_GT(with.probability(), 1.5 * without.probability());
+    // Sanity: ~1 - (1-p)^2 for two neighbours at share p.
+    EXPECT_NEAR(without.probability(), 0.0975, 0.02);
+}
+
+TEST(Templating, UncoupledPresetUnaffectedByTheFlag)
+{
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2018");
+    core::TemplatingOptions opts;
+    opts.trials = 10000;
+    opts.useCoupling = true;
+    const auto a = core::simulateTemplating(cfg, opts);
+    opts.useCoupling = false;
+    const auto b = core::simulateTemplating(cfg, opts);
+    EXPECT_EQ(a.reachable, b.reachable);
+}
+
+TEST(Templating, MoreAttackerShareMoreReach)
+{
+    const dram::DeviceConfig cfg = dram::makePreset("B_x4_2019");
+    core::TemplatingOptions opts;
+    opts.trials = 10000;
+    opts.attackerShare = 0.02;
+    const auto low = core::simulateTemplating(cfg, opts);
+    opts.attackerShare = 0.20;
+    const auto high = core::simulateTemplating(cfg, opts);
+    EXPECT_GT(high.probability(), 2.0 * low.probability());
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Host/program executor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "dram/chip.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using bender::Opcode;
+using bender::Program;
+
+class HostTest : public ::testing::Test
+{
+  protected:
+    HostTest() : cfg_(testutil::tinyPlain()), chip_(cfg_), host_(chip_)
+    {
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Chip chip_;
+    bender::Host host_;
+};
+
+TEST_F(HostTest, ProgramBuilderShapes)
+{
+    Program p;
+    p.act(0, 1).nop(3).rd(0, 2).wr(0, 3, 0xFF).pre(0).ref().sleepNs(5.5);
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p.instrs()[0].op, Opcode::Act);
+    EXPECT_EQ(p.instrs()[1].count, 3u);
+    EXPECT_EQ(p.instrs()[3].data, 0xFFu);
+    p.validate();
+}
+
+TEST_F(HostTest, LoopsExpandCorrectly)
+{
+    // A counting loop of writes: each iteration writes a different...
+    // writes are constant here; verify command count instead.
+    Program p;
+    p.act(0, 1).sleepNs(cfg_.timing.tRcdNs);
+    p.loopBegin(5).rd(0, 0).loopEnd();
+    p.pre(0);
+    const auto result = host_.run(p);
+    EXPECT_EQ(result.reads.size(), 5u);
+    EXPECT_EQ(result.commandsIssued, 2u + 5u);
+}
+
+TEST_F(HostTest, NestedLoops)
+{
+    Program p;
+    p.act(0, 1).sleepNs(cfg_.timing.tRcdNs);
+    p.loopBegin(3).loopBegin(4).rd(0, 1).loopEnd().loopEnd();
+    p.pre(0);
+    const auto result = host_.run(p);
+    EXPECT_EQ(result.reads.size(), 12u);
+}
+
+TEST_F(HostTest, ClockAdvancesWithProgram)
+{
+    const auto t0 = host_.now();
+    Program p;
+    p.nop(8);  // 8 * 1.25ns.
+    host_.run(p);
+    EXPECT_EQ(host_.now() - t0, 10);
+}
+
+TEST_F(HostTest, HammerLoopUsesBulkPathTime)
+{
+    // 1000 iterations of a 50ns kernel (35ns open + PRE slot + tRP).
+    const auto t0 = host_.now();
+    host_.hammer(0, 21, 1000);
+    const double elapsed = double(host_.now() - t0);
+    EXPECT_NEAR(elapsed, 1000 * 50.0, 100.0);
+}
+
+TEST_F(HostTest, WriteReadRowBitsRoundtrip)
+{
+    BitVec bits(cfg_.rowBits);
+    for (size_t i = 0; i < bits.size(); i += 3)
+        bits.set(i, true);
+    host_.writeRowBits(0, 9, bits);
+    EXPECT_EQ(host_.readRowBits(0, 9), bits);
+}
+
+TEST_F(HostTest, WriteRowPatternAppliesPerColumn)
+{
+    host_.writeRowPattern(0, 4, 0x12345678ULL);
+    for (uint64_t col_data : host_.readRow(0, 4))
+        EXPECT_EQ(col_data, 0x12345678ULL);
+}
+
+TEST_F(HostTest, RunReturnsTiming)
+{
+    Program p;
+    p.act(0, 0).sleepNs(100).pre(0);
+    const auto r = host_.run(p);
+    EXPECT_GT(r.endNs, r.startNs);
+    EXPECT_EQ(r.commandsIssued, 2u);
+}
+
+TEST_F(HostTest, WaitMsAdvancesClock)
+{
+    const auto t0 = host_.now();
+    host_.waitMs(3.0);
+    EXPECT_EQ(host_.now() - t0, 3000000);
+}
+
+TEST_F(HostTest, ReadsInsideLoopDisableFastPath)
+{
+    // A loop body containing RD cannot use the bulk path, but must
+    // still execute correctly.
+    host_.writeRowPattern(0, 2, ~0ULL);
+    Program p;
+    p.loopBegin(10)
+        .act(0, 2)
+        .sleepNs(cfg_.timing.tRcdNs)
+        .rd(0, 0)
+        .sleepNs(cfg_.timing.tRasNs)
+        .pre(0)
+        .sleepNs(cfg_.timing.tRpNs)
+        .loopEnd();
+    const auto r = host_.run(p);
+    ASSERT_EQ(r.reads.size(), 10u);
+    const uint64_t mask = (1ULL << cfg_.rdDataBits) - 1;
+    for (auto v : r.reads)
+        EXPECT_EQ(v & mask, mask);
+}
+
+TEST_F(HostTest, UnbalancedLoopDies)
+{
+    Program p;
+    p.loopBegin(2).act(0, 1);
+    EXPECT_DEATH(p.validate(), "unbalanced");
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Adversarial-pattern builder tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/patterns.h"
+#include "dram/swizzle.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+class PatternsTest : public ::testing::Test
+{
+  protected:
+    PatternsTest()
+        : cfg_(testutil::tinyPlain()), swz_(cfg_),
+          map_(core::PhysMap::fromSwizzle(swz_, cfg_.columnsPerRow(),
+                                          cfg_.rdDataBits))
+    {
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Swizzle swz_;
+    core::PhysMap map_;
+};
+
+TEST_F(PatternsTest, WorstBerPatternIsPhysical0x33)
+{
+    const BitVec victim =
+        core::AdversarialPatterns::worstBerVictimRow(map_);
+    const BitVec phys = map_.toPhysical(victim);
+    for (size_t p = 0; p < phys.size(); ++p)
+        EXPECT_EQ(phys.get(p), (p % 4) < 2) << p;
+}
+
+TEST_F(PatternsTest, AggressorIsComplementOfVictim)
+{
+    // O14: vertically adjacent aggressor and victim cells must hold
+    // opposite values.
+    const BitVec victim = map_.toPhysical(
+        core::AdversarialPatterns::worstBerVictimRow(map_));
+    const BitVec aggr = map_.toPhysical(
+        core::AdversarialPatterns::worstBerAggressorRow(map_));
+    for (size_t p = 0; p < victim.size(); ++p)
+        EXPECT_NE(victim.get(p), aggr.get(p)) << p;
+}
+
+TEST_F(PatternsTest, TargetedRowIsolatesTheVictimCell)
+{
+    const uint32_t target = 42;
+    const BitVec host = core::AdversarialPatterns::targetedVictimRow(
+        map_, target, /*vic0_value=*/true);
+    const BitVec phys = map_.toPhysical(host);
+    EXPECT_TRUE(phys.get(target));
+    // Horizontal neighbours at distance 1 and 2 hold the opposite.
+    EXPECT_FALSE(phys.get(target - 1));
+    EXPECT_FALSE(phys.get(target + 1));
+    EXPECT_FALSE(phys.get(target - 2));
+    EXPECT_FALSE(phys.get(target + 2));
+}
+
+TEST_F(PatternsTest, TargetedAggressorIsSolidOpposite)
+{
+    const BitVec aggr =
+        core::AdversarialPatterns::targetedAggressorRow(map_, true);
+    EXPECT_EQ(aggr.popcount(), 0u);
+    const BitVec aggr0 =
+        core::AdversarialPatterns::targetedAggressorRow(map_, false);
+    EXPECT_EQ(aggr0.popcount(), aggr0.size());
+}
+
+} // namespace
+} // namespace dramscope

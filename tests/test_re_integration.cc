@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Reverse-engineering integration tests: every tool must recover the
+ * hidden device ground truth through memory commands alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/re_adjacency.h"
+#include "core/re_coupled.h"
+#include "core/re_polarity.h"
+#include "core/re_subarray.h"
+#include "core/re_swizzle.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using dram::DeviceConfig;
+using dram::RowAddr;
+
+TEST(AdjacencyMapper, FindsPhysicalNeighborsWithoutRemap)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::AdjacencyMapper mapper(host);
+
+    const auto probe = mapper.probe(60);
+    ASSERT_EQ(probe.neighbors.size(), 2u);
+    EXPECT_EQ(probe.neighbors[0], RowAddr(59));
+    EXPECT_EQ(probe.neighbors[1], RowAddr(61));
+}
+
+TEST(AdjacencyMapper, FindsRemappedNeighbors)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    cfg.rowRemap = dram::RowRemapScheme::MfrA8Blk;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::AdjacencyMapper mapper(host);
+
+    // Logical 60 -> physical 63; neighbours phys 62/64 are logical
+    // 61 and 64.
+    const auto probe = mapper.probe(60);
+    ASSERT_EQ(probe.neighbors.size(), 2u);
+    EXPECT_EQ(probe.neighbors[0], RowAddr(61));
+    EXPECT_EQ(probe.neighbors[1], RowAddr(64));
+}
+
+TEST(AdjacencyMapper, SingleNeighborAtSubarrayBoundary)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::AdjacencyMapper mapper(host);
+
+    // Row 95 tops subarray 1: only row 94 is AIB-adjacent.
+    const auto probe = mapper.probe(95);
+    ASSERT_EQ(probe.neighbors.size(), 1u);
+    EXPECT_EQ(probe.neighbors[0], RowAddr(94));
+}
+
+TEST(AdjacencyMapper, DetectsRemapScheme)
+{
+    for (const auto scheme : {dram::RowRemapScheme::None,
+                              dram::RowRemapScheme::MfrA8Blk}) {
+        DeviceConfig cfg = testutil::tinyPlain();
+        cfg.rowRemap = scheme;
+        dram::Chip chip(cfg);
+        bender::Host host(chip);
+        core::AdjacencyMapper mapper(host);
+        EXPECT_EQ(mapper.detectRemapScheme(56), scheme);
+    }
+}
+
+TEST(SubarrayMapper, ProbeCopyClassifiesRelations)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+
+    bool inverted = false;
+    EXPECT_EQ(mapper.probeCopy(10, 20, &inverted),
+              core::CopyOutcome::Full);
+    EXPECT_FALSE(inverted);
+    EXPECT_EQ(mapper.probeCopy(50, 40, &inverted),
+              core::CopyOutcome::Half);
+    EXPECT_TRUE(inverted);  // All-true cells: cross copy inverts.
+    EXPECT_EQ(mapper.probeCopy(10, 100, nullptr),
+              core::CopyOutcome::None);
+}
+
+TEST(SubarrayMapper, DiscoversTinyStructure)
+{
+    DeviceConfig cfg = dram::makeTinyConfig();  // Remap + coupling on.
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+
+    const auto d = mapper.discoverFirstSection();
+    EXPECT_EQ(d.heights, (std::vector<uint32_t>{48, 48, 32, 48, 48, 32}));
+    EXPECT_EQ(d.sectionRows, 256u);
+    EXPECT_TRUE(d.openBitline);
+    EXPECT_TRUE(d.copyInvertsData);
+    EXPECT_TRUE(d.edgePairConfirmed);
+
+    Rng rng(99);
+    EXPECT_TRUE(mapper.verifyPeriodicity(d, 12, rng));
+}
+
+TEST(SubarrayMapper, MfrCStyleCopiesDataAsIs)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    cfg.polarityPolicy = dram::CellPolarityPolicy::InterleavedPerSubarray;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+
+    const auto d = mapper.discoverFirstSection();
+    EXPECT_TRUE(d.openBitline);
+    EXPECT_FALSE(d.copyInvertsData);  // SS IV-C, Mfr. C behaviour.
+}
+
+TEST(CoupledRowDetector, FindsTheCoupledDistance)
+{
+    DeviceConfig cfg = dram::makeTinyConfig();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CoupledOptions opts;
+    opts.probeRow = 60;
+    core::CoupledRowDetector detector(host, opts);
+    const auto d = detector.detect();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 512u);
+}
+
+TEST(CoupledRowDetector, NoFalsePositiveOnUncoupledChips)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CoupledOptions opts;
+    opts.probeRow = 60;
+    core::CoupledRowDetector detector(host, opts);
+    EXPECT_FALSE(detector.detect().has_value());
+}
+
+TEST(CellTypeClassifier, AllTrueForMfrAStyle)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CellTypeClassifier classifier(host);
+
+    const auto result = classifier.classify({20, 60, 110, 150, 200});
+    EXPECT_TRUE(result.allTrue);
+    EXPECT_FALSE(result.mixed);
+    for (const auto &probe : result.probes) {
+        EXPECT_TRUE(probe.decayed);
+        EXPECT_EQ(probe.polarity, dram::CellPolarity::True);
+        EXPECT_EQ(probe.zerosToOnes, 0u);
+    }
+}
+
+TEST(CellTypeClassifier, DetectsMfrCInterleaving)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    cfg.polarityPolicy = dram::CellPolarityPolicy::InterleavedPerSubarray;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::CellTypeClassifier classifier(host);
+
+    // One probe per subarray: 0-47, 48-95, 96-127, 128-175.
+    const auto result = classifier.classify({20, 60, 110, 150});
+    EXPECT_TRUE(result.mixed);
+    EXPECT_EQ(result.probes[0].polarity, dram::CellPolarity::True);
+    EXPECT_EQ(result.probes[1].polarity, dram::CellPolarity::Anti);
+    EXPECT_EQ(result.probes[2].polarity, dram::CellPolarity::True);
+    EXPECT_EQ(result.probes[3].polarity, dram::CellPolarity::Anti);
+}
+
+class SwizzleReverserTest : public ::testing::Test
+{
+  protected:
+    static core::SwizzleDiscovery
+    discover(const DeviceConfig &cfg, dram::RowRemapScheme remap)
+    {
+        dram::Chip chip(cfg);
+        bender::Host host(chip);
+        core::SwizzleOptions opts;
+        opts.victimGroups = 160;
+        opts.baseRow = 80;
+        opts.subarrayBoundary = 48;
+        opts.rowRemap = remap;
+        core::SwizzleReverser reverser(host, opts);
+        return reverser.discover();
+    }
+};
+
+TEST_F(SwizzleReverserTest, RecoversTinySwizzle)
+{
+    const DeviceConfig cfg = testutil::tinyPlain();
+    const auto d = discover(cfg, dram::RowRemapScheme::None);
+
+    EXPECT_EQ(d.matsPerRow, cfg.matsPerRow());
+    EXPECT_EQ(d.matWidth, cfg.matWidth);
+    EXPECT_TRUE(d.residueStructured);
+    EXPECT_TRUE(d.periodic);
+    EXPECT_EQ(d.recoveredPerm, cfg.swizzlePerm);
+
+    // Parity labels match the ground-truth permutation parity.
+    for (uint32_t i = 0; i < cfg.rdDataBits; ++i) {
+        const uint32_t intra = i / cfg.matsPerRow();
+        EXPECT_EQ(d.blParity[i], int(cfg.swizzlePerm[intra] & 1)) << i;
+    }
+
+    // The reconstructed PhysMap is exactly the device swizzle.
+    ASSERT_TRUE(d.physMap.has_value());
+    const auto truth = core::PhysMap::fromSwizzle(
+        dram::Swizzle(cfg), cfg.columnsPerRow(), cfg.rdDataBits);
+    for (uint32_t h = 0; h < cfg.rowBits; ++h)
+        ASSERT_EQ(d.physMap->physOf(h), truth.physOf(h)) << h;
+}
+
+TEST_F(SwizzleReverserTest, RecoversIdentitySwizzle)
+{
+    const DeviceConfig cfg = testutil::tinyIdentitySwizzle();
+    const auto d = discover(cfg, dram::RowRemapScheme::None);
+    EXPECT_EQ(d.matsPerRow, cfg.matsPerRow());
+    EXPECT_EQ(d.recoveredPerm, cfg.swizzlePerm);
+}
+
+TEST_F(SwizzleReverserTest, WorksThroughInternalRemap)
+{
+    DeviceConfig cfg = testutil::tinyPlain();
+    cfg.rowRemap = dram::RowRemapScheme::MfrA8Blk;
+    const auto d = discover(cfg, dram::RowRemapScheme::MfrA8Blk);
+    EXPECT_EQ(d.matsPerRow, cfg.matsPerRow());
+    EXPECT_EQ(d.matWidth, cfg.matWidth);
+    EXPECT_EQ(d.recoveredPerm, cfg.swizzlePerm);
+}
+
+TEST(FullPipeline, TinyChipEndToEnd)
+{
+    // The complete DRAMScope methodology on the full tiny config
+    // (remap + coupling + vendor swizzle), using only commands.
+    DeviceConfig cfg = dram::makeTinyConfig();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    // 1. Row adjacency and internal remap (pitfall 2).
+    core::AdjacencyMapper adjacency(host);
+    const auto scheme = adjacency.detectRemapScheme(56);
+    EXPECT_EQ(scheme, dram::RowRemapScheme::MfrA8Blk);
+
+    // 2. Subarray structure via RowCopy.
+    core::SubarrayMapper subarrays(host);
+    const auto structure = subarrays.discoverFirstSection();
+    EXPECT_EQ(structure.sectionRows, cfg.edgeSectionRows);
+    EXPECT_TRUE(structure.edgePairConfirmed);
+
+    // 3. Coupled rows.
+    core::CoupledOptions copts;
+    copts.probeRow = 60;
+    core::CoupledRowDetector coupled(host, copts);
+    const auto distance = coupled.detect();
+    ASSERT_TRUE(distance.has_value());
+    EXPECT_EQ(*distance, *cfg.coupledRowDistance);
+
+    // 4. Cell polarity.
+    core::CellTypeClassifier polarity(host);
+    EXPECT_TRUE(polarity.classify({20, 60, 110}).allTrue);
+
+    // 5. Data swizzling, using the remap and boundary found above.
+    core::SwizzleOptions sopts;
+    sopts.victimGroups = 160;
+    sopts.baseRow = 80;
+    sopts.subarrayBoundary = structure.heights.at(0);
+    sopts.rowRemap = scheme;
+    core::SwizzleReverser swizzle(host, sopts);
+    const auto d = swizzle.discover();
+    EXPECT_EQ(d.matsPerRow, cfg.matsPerRow());
+    EXPECT_EQ(d.matWidth, cfg.matWidth);
+    EXPECT_EQ(d.recoveredPerm, cfg.swizzlePerm);
+}
+
+TEST(FullPreset, Ax4_2016StructureIsRecovered)
+{
+    // The headline Table III row on the full-size device.
+    DeviceConfig cfg = dram::makePreset("A_x4_2016");
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    core::SubarrayMapper mapper(host);
+    const auto d = mapper.discoverFirstSection();
+    // 11 x 640 + 2 x 576 rows, edge sections every 16K rows.
+    std::vector<uint32_t> expect;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int k = 0; k < 11; ++k)
+            expect.push_back(640);
+        expect.push_back(576);
+        expect.push_back(576);
+    }
+    EXPECT_EQ(d.heights, expect);
+    EXPECT_EQ(d.sectionRows, 16384u);
+    EXPECT_TRUE(d.openBitline);
+    EXPECT_TRUE(d.edgePairConfirmed);
+
+    core::CoupledOptions copts;
+    copts.probeRow = 1200;
+    core::CoupledRowDetector coupled(host, copts);
+    const auto distance = coupled.detect();
+    ASSERT_TRUE(distance.has_value());
+    EXPECT_EQ(*distance, 65536u);
+
+    core::AdjacencyMapper adjacency(host);
+    EXPECT_EQ(adjacency.detectRemapScheme(1024),
+              dram::RowRemapScheme::MfrA8Blk);
+}
+
+} // namespace
+} // namespace dramscope

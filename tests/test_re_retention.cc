@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Retention profiler and AIB boundary cross-check tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/re_retention.h"
+#include "core/re_subarray.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+TEST(RetentionProfiler, CurveIsMonotoneAndBracketsTheMedian)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::RetentionOptions opts;
+    opts.rows = 8;
+    core::RetentionProfiler profiler(host, opts);
+    const auto profile = profiler.profile();
+
+    ASSERT_EQ(profile.curve.size(), opts.waitsMs.size());
+    for (size_t k = 1; k < profile.curve.size(); ++k) {
+        EXPECT_GE(profile.curve[k].fraction() + 0.02,
+                  profile.curve[k - 1].fraction());
+    }
+    // Configured median is 4000ms at the reference temperature.
+    EXPECT_GT(profile.medianMs, 2000.0);
+    EXPECT_LT(profile.medianMs, 8000.0);
+}
+
+TEST(RetentionProfiler, HotterChipHasShorterMedian)
+{
+    auto median_at = [](double temp) {
+        dram::DeviceConfig cfg = testutil::tinyPlain();
+        cfg.temperatureC = temp;
+        dram::Chip chip(cfg);
+        bender::Host host(chip);
+        core::RetentionOptions opts;
+        opts.waitsMs = {125, 250, 500, 1000, 2000, 4000, 8000, 16000,
+                        32000};
+        core::RetentionProfiler profiler(host, opts);
+        return profiler.profile().medianMs;
+    };
+    const double hot = median_at(85.0);
+    const double cool = median_at(65.0);
+    ASSERT_GT(hot, 0.0);
+    ASSERT_GT(cool, 0.0);
+    // Retention halves per +10C: expect roughly a 4x spread over 20C.
+    EXPECT_LT(hot * 2.5, cool);
+}
+
+TEST(RetentionProfiler, FindsWeakCellsDeterministically)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::RetentionOptions opts;
+    opts.rows = 16;
+    opts.waitsMs = {250, 500, 4000};
+    opts.weakThresholdMs = 500;
+    core::RetentionProfiler profiler(host, opts);
+    const auto first = profiler.profile();
+
+    dram::Chip chip2(cfg);
+    bender::Host host2(chip2);
+    core::RetentionProfiler profiler2(host2, opts);
+    const auto second = profiler2.profile();
+
+    ASSERT_EQ(first.weakCells.size(), second.weakCells.size());
+    for (size_t k = 0; k < first.weakCells.size(); ++k) {
+        EXPECT_EQ(first.weakCells[k].row, second.weakCells[k].row);
+        EXPECT_EQ(first.weakCells[k].hostBit,
+                  second.weakCells[k].hostBit);
+    }
+}
+
+TEST(AibCrossCheck, ValidatesRowCopyBoundaries)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+
+    // True boundaries of the tiny config: 48, 96, 128, ...
+    EXPECT_TRUE(mapper.aibCrossCheckBoundary(48));
+    EXPECT_TRUE(mapper.aibCrossCheckBoundary(96));
+    // A non-boundary must fail the check (the outer row flips too).
+    EXPECT_FALSE(mapper.aibCrossCheckBoundary(60));
+}
+
+TEST(AibCrossCheck, WorksThroughRemap)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    cfg.rowRemap = dram::RowRemapScheme::MfrA8Blk;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayOptions opts;
+    opts.rowRemap = dram::RowRemapScheme::MfrA8Blk;
+    core::SubarrayMapper mapper(host, opts);
+    EXPECT_TRUE(mapper.aibCrossCheckBoundary(48));
+    EXPECT_FALSE(mapper.aibCrossCheckBoundary(60));
+}
+
+TEST(AibCrossCheck, FullDiscoveryPlusValidation)
+{
+    // The paper's workflow: RowCopy finds the structure, AIB
+    // validates every boundary of the first section.
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+    const auto d = mapper.discoverFirstSection();
+    dram::RowAddr boundary = 0;
+    for (size_t k = 0; k + 1 < d.heights.size(); ++k) {
+        boundary += d.heights[k];
+        EXPECT_TRUE(mapper.aibCrossCheckBoundary(boundary))
+            << "boundary " << boundary;
+    }
+}
+
+} // namespace
+} // namespace dramscope

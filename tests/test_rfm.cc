@@ -1,0 +1,116 @@
+/**
+ * @file
+ * RFM interface tests (SS VI-B): in-DRAM tracking plus MC-side RFM
+ * cadence protect coupled rows without the MC knowing the relation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "core/protect/rfm.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using dram::RowAddr;
+
+TEST(RfmEngine, TracksTheHottestRow)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    core::RfmEngine engine(chip, 0, 4);
+    engine.onActivate(10, 100);
+    engine.onActivate(20, 500);
+    engine.onActivate(30, 50);
+    engine.onRfm(1000);
+    // The hottest row (20) got its neighbours refreshed: two rows.
+    EXPECT_EQ(engine.mitigations(), 2u);
+}
+
+TEST(RfmEngine, SpaceSavingInheritsTheFloor)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    core::RfmEngine engine(chip, 0, 2);
+    engine.onActivate(1, 100);
+    engine.onActivate(2, 200);
+    // Table full: row 3 evicts the minimum (row 1) and inherits 100.
+    engine.onActivate(3, 1);
+    engine.onRfm(1000);  // Row 2 is still the max.
+    EXPECT_EQ(engine.mitigations(), 2u);
+}
+
+TEST(RfmController, IssuesAtTheRaaimtCadence)
+{
+    dram::DeviceConfig cfg = testutil::tinyPlain();
+    dram::Chip chip(cfg);
+    core::RfmEngine engine(chip, 0);
+    core::RfmController mc(engine, 1000);
+    mc.onActivate(5, 999, 100);
+    EXPECT_EQ(mc.rfmCount(), 0u);
+    mc.onActivate(5, 1, 200);
+    EXPECT_EQ(mc.rfmCount(), 1u);
+    mc.onActivate(5, 3000, 300);
+    EXPECT_EQ(mc.rfmCount(), 4u);
+}
+
+TEST(Rfm, ProtectsAgainstTheCoupledSplitAttack)
+{
+    // The MC never learns the coupled relation; the in-DRAM engine
+    // resolves it (SS VI-B's recommended deployment).
+    dram::DeviceConfig cfg = dram::makeTinyConfig();
+    cfg.rowRemap = dram::RowRemapScheme::None;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::RfmEngine engine(chip, 0);
+    core::RfmController mc(engine, 2000);
+
+    const RowAddr aggr = 60, partner = 572;
+    for (const RowAddr v : {aggr - 1, aggr + 1, partner - 1, partner + 1})
+        host.writeRowPattern(0, v, ~0ULL);
+    host.writeRowPattern(0, aggr, 0);
+    host.writeRowPattern(0, partner, 0);
+
+    // Split attack in chunks, mirrored to the MC hook.
+    for (int round = 0; round < 6; ++round) {
+        for (const RowAddr a : {aggr, partner}) {
+            host.hammer(0, a, 1950);
+            mc.onActivate(a, 1950, host.now());
+        }
+    }
+    EXPECT_GT(mc.rfmCount(), 0u);
+    for (const RowAddr v :
+         {aggr - 1, aggr + 1, partner - 1, partner + 1}) {
+        const BitVec row = host.readRowBits(0, v);
+        EXPECT_EQ(row.size() - row.popcount(), 0u) << "victim " << v;
+    }
+}
+
+TEST(Rfm, WithoutRfmTheSameAttackFlips)
+{
+    dram::DeviceConfig cfg = dram::makeTinyConfig();
+    cfg.rowRemap = dram::RowRemapScheme::None;
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    const RowAddr aggr = 60, partner = 572;
+    for (const RowAddr v : {aggr - 1, aggr + 1, partner - 1, partner + 1})
+        host.writeRowPattern(0, v, ~0ULL);
+    host.writeRowPattern(0, aggr, 0);
+    host.writeRowPattern(0, partner, 0);
+    for (int round = 0; round < 6; ++round) {
+        for (const RowAddr a : {aggr, partner})
+            host.hammer(0, a, 1950);
+    }
+    size_t flips = 0;
+    for (const RowAddr v :
+         {aggr - 1, aggr + 1, partner - 1, partner + 1}) {
+        const BitVec row = host.readRowBits(0, v);
+        flips += row.size() - row.popcount();
+    }
+    EXPECT_GT(flips, 0u);
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and hash samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dramscope {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 1000; ++i)
+        ++seen[rng.below(8)];
+    for (int k = 0; k < 8; ++k)
+        EXPECT_GT(seen[k], 0) << "value " << k << " never drawn";
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(17);
+    int below = 0;
+    const int n = 100000;
+    const double median = std::exp(2.0);
+    for (int i = 0; i < n; ++i) {
+        if (rng.lognormal(2.0, 0.8) < median)
+            ++below;
+    }
+    EXPECT_NEAR(double(below) / n, 0.5, 0.02);
+}
+
+TEST(HashUniform, DeterministicAndOpen)
+{
+    EXPECT_EQ(hashUniform(1, 2), hashUniform(1, 2));
+    EXPECT_NE(hashUniform(1, 2), hashUniform(1, 3));
+    for (uint64_t k = 0; k < 10000; ++k) {
+        const double u = hashUniform(99, k);
+        EXPECT_GT(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(HashGaussian, StandardMoments)
+{
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int k = 0; k < n; ++k) {
+        const double g = hashGaussian(123, uint64_t(k));
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(HashGaussian, TailsSane)
+{
+    int beyond3 = 0;
+    const int n = 100000;
+    for (int k = 0; k < n; ++k) {
+        if (std::abs(hashGaussian(7, uint64_t(k))) > 3.0)
+            ++beyond3;
+    }
+    // P(|Z| > 3) ~= 0.0027.
+    EXPECT_NEAR(double(beyond3) / n, 0.0027, 0.002);
+}
+
+TEST(SplitMix, MixesBits)
+{
+    // Consecutive inputs must produce very different outputs.
+    const uint64_t a = splitmix64(1), b = splitmix64(2);
+    EXPECT_NE(a, b);
+    int diff_bits = __builtin_popcountll(a ^ b);
+    EXPECT_GT(diff_bits, 16);
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dramscope {
+namespace {
+
+TEST(RunningStat, Basic)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(BitErrorRate, Accumulates)
+{
+    BitErrorRate ber;
+    ber.add(3, 100);
+    ber.add(7, 100);
+    EXPECT_EQ(ber.flipped(), 10u);
+    EXPECT_EQ(ber.tested(), 200u);
+    EXPECT_DOUBLE_EQ(ber.value(), 0.05);
+}
+
+TEST(BitErrorRate, MergeAndEmpty)
+{
+    BitErrorRate a, b;
+    EXPECT_EQ(a.value(), 0.0);
+    a.add(1, 10);
+    b.add(1, 10);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value(), 0.1);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(10, 0.0, 10.0);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(50.0);  // clamps to bin 9
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Swizzle and PhysMap tests, including the Figure 8 misinterpretation
+ * demonstration (ColStripe acts as Solid).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/physmap.h"
+#include "dram/config.h"
+#include "dram/swizzle.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+TEST(Swizzle, BijectiveOverTheRow)
+{
+    const dram::DeviceConfig cfg = dram::makeTinyConfig();
+    const dram::Swizzle swz(cfg);
+    std::vector<bool> seen(cfg.rowBits, false);
+    for (uint32_t c = 0; c < cfg.columnsPerRow(); ++c) {
+        for (uint32_t i = 0; i < cfg.rdDataBits; ++i) {
+            const auto bl = swz.physicalBl(c, i);
+            EXPECT_FALSE(seen[bl]);
+            seen[bl] = true;
+            const auto [col2, bit2] = swz.logicalBit(bl);
+            EXPECT_EQ(col2, c);
+            EXPECT_EQ(bit2, i);
+        }
+    }
+}
+
+TEST(Swizzle, RdDataSpreadsAcrossAllMats)
+{
+    // O1: one RD collects groupBits() cells from every MAT.
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2016");
+    const dram::Swizzle swz(cfg);
+    std::vector<int> per_mat(cfg.matsPerRow(), 0);
+    for (uint32_t i = 0; i < cfg.rdDataBits; ++i)
+        ++per_mat[swz.physicalBl(5, i) / cfg.matWidth];
+    for (int n : per_mat)
+        EXPECT_EQ(n, int(cfg.groupBits()));
+}
+
+TEST(Swizzle, GroupCellsAreContiguous)
+{
+    const dram::DeviceConfig cfg = dram::makePreset("B_x4_2019");
+    const dram::Swizzle swz(cfg);
+    // The cells one column contributes to a MAT form one contiguous
+    // group of groupBits cells.
+    const uint32_t col = 17;
+    std::vector<uint32_t> bls;
+    for (uint32_t i = 0; i < cfg.rdDataBits; ++i) {
+        const auto bl = swz.physicalBl(col, i);
+        if (bl / cfg.matWidth == 0)
+            bls.push_back(bl);
+    }
+    ASSERT_EQ(bls.size(), cfg.groupBits());
+    std::sort(bls.begin(), bls.end());
+    for (size_t k = 1; k < bls.size(); ++k)
+        EXPECT_EQ(bls[k], bls[k - 1] + 1);
+}
+
+TEST(PhysMap, RoundtripConversions)
+{
+    const dram::DeviceConfig cfg = dram::makeTinyConfig();
+    const dram::Swizzle swz(cfg);
+    const auto map = core::PhysMap::fromSwizzle(swz, cfg.columnsPerRow(),
+                                                cfg.rdDataBits);
+    BitVec host(cfg.rowBits);
+    for (size_t i = 0; i < host.size(); i += 7)
+        host.set(i, true);
+    EXPECT_EQ(map.toHost(map.toPhysical(host)), host);
+    for (uint32_t h = 0; h < cfg.rowBits; ++h)
+        EXPECT_EQ(map.hostOf(map.physOf(h)), h);
+}
+
+TEST(PhysMap, PhysicalPatternLandsPhysically)
+{
+    const dram::DeviceConfig cfg = dram::makeTinyConfig();
+    const dram::Swizzle swz(cfg);
+    const auto map = core::PhysMap::fromSwizzle(swz, cfg.columnsPerRow(),
+                                                cfg.rdDataBits);
+    const BitVec host = map.hostBitsForPhysicalPattern(0b0011, 4);
+    const BitVec phys = map.toPhysical(host);
+    for (size_t p = 0; p < phys.size(); ++p)
+        EXPECT_EQ(phys.get(p), (p % 4) < 2) << p;
+}
+
+TEST(PhysMap, IdentityByDefault)
+{
+    core::PhysMap map(64);
+    EXPECT_EQ(map.physOf(10), 10u);
+    EXPECT_EQ(map.hostOf(20), 20u);
+}
+
+TEST(PhysMap, RejectsNonPermutation)
+{
+    EXPECT_DEATH(core::PhysMap::fromTable({0, 0, 1}), "permutation");
+}
+
+TEST(Figure8, ColStripeActsAsSolidInsideMatGroups)
+{
+    // Figure 8a: a host "ColStripe" pattern (alternating RD_data
+    // bits) lands as per-MAT solid blocks for Mfr. A's swizzle,
+    // because consecutive RD bits go to *different* MATs.
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2016");
+    const dram::Swizzle swz(cfg);
+    const auto map = core::PhysMap::fromSwizzle(swz, cfg.columnsPerRow(),
+                                                cfg.rdDataBits);
+    BitVec host(cfg.rowBits);
+    host.fillPattern(0b01, 2);  // ColStripe in host space.
+    const BitVec phys = map.toPhysical(host);
+
+    // Within every MAT-column group (4 consecutive cells) the value
+    // is constant: the stripe degenerated to solid runs.
+    const uint32_t g = cfg.groupBits();
+    for (uint32_t start = 0; start + g <= cfg.rowBits; start += g) {
+        for (uint32_t k = 1; k < g; ++k) {
+            EXPECT_EQ(phys.get(start + k), phys.get(start))
+                << "group at " << start;
+        }
+    }
+}
+
+TEST(Figure8, TrueColStripeNeedsThePhysMap)
+{
+    // Writing through the reconstructed map produces a genuine
+    // physical stripe.
+    const dram::DeviceConfig cfg = dram::makePreset("A_x4_2016");
+    const dram::Swizzle swz(cfg);
+    const auto map = core::PhysMap::fromSwizzle(swz, cfg.columnsPerRow(),
+                                                cfg.rdDataBits);
+    const BitVec host = map.hostBitsForPhysicalPattern(0b01, 2);
+    const BitVec phys = map.toPhysical(host);
+    for (size_t p = 0; p + 1 < phys.size(); ++p)
+        EXPECT_NE(phys.get(p), phys.get(p + 1));
+}
+
+} // namespace
+} // namespace dramscope

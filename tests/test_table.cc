@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the table/CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace dramscope {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsPad)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(Table, NumFormats)
+{
+    EXPECT_EQ(Table::num(uint64_t(42)), "42");
+    EXPECT_EQ(Table::num(int64_t(-7)), "-7");
+    EXPECT_EQ(Table::num(1.5, 3), "1.5");
+    EXPECT_EQ(Table::num(0.123456, 3), "0.123");
+}
+
+TEST(Table, CsvEscapesSeparators)
+{
+    Table t({"k", "v"});
+    t.addRow({"a,b", "say \"hi\""});
+    const std::string path = "/tmp/dramscope_table_test.csv";
+    t.writeCsv(path);
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string csv = ss.str();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dramscope

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Command-line driver for the DRAMScope toolkit.
+ *
+ * Subcommands:
+ *   list                         preset registry (Table I population)
+ *   inspect <preset>             configuration and subarray layout
+ *   hammer  <preset> <row> <n>   single-sided RowHammer, flip report
+ *   press   <preset> <row> <n>   RowPress attack, flip report
+ *   rowcopy <preset> <src> <dst> RowCopy probe with classification
+ *   retention <preset>           retention survival curve
+ *   report  <preset>             full reverse-engineering pipeline
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bender/host.h"
+#include "core/re_adjacency.h"
+#include "core/re_coupled.h"
+#include "core/re_polarity.h"
+#include "core/re_retention.h"
+#include "core/re_subarray.h"
+#include "dram/chip.h"
+#include "util/table.h"
+
+using namespace dramscope;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dramscope_cli <command> [args]\n"
+        "  list                          preset registry\n"
+        "  inspect <preset>              configuration summary\n"
+        "  hammer <preset> <row> <n>     RowHammer attack report\n"
+        "  press <preset> <row> <n>      RowPress attack report\n"
+        "  rowcopy <preset> <src> <dst>  RowCopy probe\n"
+        "  retention <preset>            retention survival curve\n"
+        "  report <preset>               reverse-engineering pipeline\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    Table t({"Preset", "Vendor", "Type", "Width", "Year", "Chips"});
+    for (const auto &info : dram::presetTable()) {
+        const auto cfg = dram::makePreset(info.id);
+        t.addRow({info.id, dram::toString(cfg.vendor),
+                  dram::toString(cfg.type), dram::toString(cfg.width),
+                  cfg.year ? Table::num(int64_t(cfg.year)) : "N/A",
+                  Table::num(int64_t(info.chipCount))});
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdInspect(const std::string &preset)
+{
+    const auto cfg = dram::makePreset(preset);
+    std::printf("%s: %s %s %s (%d)\n", cfg.name.c_str(),
+                dram::toString(cfg.vendor), dram::toString(cfg.type),
+                dram::toString(cfg.width), cfg.year);
+    std::printf("rows/bank %u, row bits %u, RD_data %u bits, "
+                "columns %u\n",
+                cfg.rowsPerBank, cfg.rowBits, cfg.rdDataBits,
+                cfg.columnsPerRow());
+    std::printf("MAT width %u (%u MATs per row), swizzle perm {",
+                cfg.matWidth, cfg.matsPerRow());
+    for (size_t k = 0; k < cfg.swizzlePerm.size(); ++k)
+        std::printf("%s%u", k ? "," : "", cfg.swizzlePerm[k]);
+    std::printf("}\n");
+    std::printf("subarray pattern:");
+    for (const auto &e : cfg.subarrayPattern)
+        std::printf(" %ux%u", e.count, e.height);
+    std::printf(" (repeats every %u rows)\n", cfg.patternRows());
+    std::printf("edge sections every %u rows; coupled distance %s\n",
+                cfg.edgeSectionRows,
+                cfg.coupledRowDistance
+                    ? Table::num(uint64_t(*cfg.coupledRowDistance))
+                          .c_str()
+                    : "none");
+    std::printf("remap %s, polarity %s, temperature %.0fC\n",
+                cfg.rowRemap == dram::RowRemapScheme::None
+                    ? "none"
+                    : "Mfr.A 8-blk",
+                cfg.polarityPolicy == dram::CellPolarityPolicy::AllTrue
+                    ? "all true-cells"
+                    : "true/anti interleaved",
+                cfg.temperatureC);
+    return 0;
+}
+
+int
+cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
+          bool press)
+{
+    const auto cfg = dram::makePreset(preset);
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    // Probe a wide window: internal remapping can place the physical
+    // neighbours several logical rows away (common pitfall 2).
+    for (int d = -4; d <= 4; ++d) {
+        if (d != 0)
+            host.writeRowPattern(0, dram::RowAddr(int64_t(aggr) + d),
+                                 ~0ULL);
+    }
+    host.writeRowPattern(0, aggr, 0);
+    if (press)
+        host.press(0, aggr, count);
+    else
+        host.hammer(0, aggr, count);
+
+    Table t({"Row", "Bitflips", "BER"});
+    for (int d = -4; d <= 4; ++d) {
+        if (d == 0)
+            continue;
+        const auto row = dram::RowAddr(int64_t(aggr) + d);
+        const BitVec bits = host.readRowBits(0, row);
+        const size_t flips = bits.size() - bits.popcount();
+        t.addRow({Table::num(uint64_t(row)), Table::num(uint64_t(flips)),
+                  Table::num(double(flips) / double(bits.size()), 3)});
+    }
+    t.print();
+    std::printf("(%s, %llu activations, single-sided; victims held "
+                "all-ones)\n",
+                press ? "RowPress" : "RowHammer",
+                (unsigned long long)count);
+    return 0;
+}
+
+int
+cmdRowCopy(const std::string &preset, dram::RowAddr src,
+           dram::RowAddr dst)
+{
+    const auto cfg = dram::makePreset(preset);
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::SubarrayMapper mapper(host);
+    bool inverted = false;
+    const auto outcome = mapper.probeCopy(src, dst, &inverted);
+    const char *label = outcome == core::CopyOutcome::Full   ? "FULL"
+                        : outcome == core::CopyOutcome::Half ? "HALF"
+                                                             : "NONE";
+    std::printf("RowCopy %u -> %u: %s copy%s\n", src, dst, label,
+                outcome != core::CopyOutcome::None
+                    ? (inverted ? " (data inverted)" : " (data as-is)")
+                    : "");
+    return 0;
+}
+
+int
+cmdRetention(const std::string &preset)
+{
+    const auto cfg = dram::makePreset(preset);
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    core::RetentionProfiler profiler(host);
+    const auto profile = profiler.profile();
+    Table t({"Wait (ms)", "Decayed", "Tested", "Fraction"});
+    for (const auto &p : profile.curve) {
+        t.addRow({Table::num(p.waitMs, 5), Table::num(p.decayed),
+                  Table::num(p.tested), Table::num(p.fraction(), 3)});
+    }
+    t.print();
+    std::printf("median retention: %.0f ms; weak cells (<= %0.0f ms): "
+                "%zu\n",
+                profile.medianMs, 500.0, profile.weakCells.size());
+    return 0;
+}
+
+int
+cmdReport(const std::string &preset)
+{
+    const auto cfg = dram::makePreset(preset);
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+
+    std::printf("reverse-engineering %s ...\n", preset.c_str());
+    core::AdjacencyMapper adjacency(host);
+    const auto scheme = adjacency.detectRemapScheme(1024);
+    std::printf("  remap: %s\n",
+                scheme == dram::RowRemapScheme::None ? "none"
+                                                     : "Mfr.A 8-blk");
+
+    core::SubarrayOptions sopts;
+    sopts.rowRemap = scheme;
+    core::SubarrayMapper subarrays(host, sopts);
+    const auto d = subarrays.discoverFirstSection();
+    std::printf("  heights:");
+    for (const auto h : d.heights)
+        std::printf(" %u", h);
+    std::printf("\n  edge section: %u rows; edge pair: %s; copies "
+                "%sinverted\n",
+                d.sectionRows, d.edgePairConfirmed ? "yes" : "no",
+                d.copyInvertsData ? "" : "NOT ");
+    std::printf("  AIB validation of first boundary: %s\n",
+                subarrays.aibCrossCheckBoundary(d.heights.at(0))
+                    ? "confirmed"
+                    : "FAILED");
+
+    core::CoupledOptions copts;
+    copts.probeRow = 1200;
+    core::CoupledRowDetector coupled(host, copts);
+    const auto distance = coupled.detect();
+    std::printf("  coupled distance: %s\n",
+                distance ? Table::num(uint64_t(*distance)).c_str()
+                         : "none");
+
+    core::CellTypeClassifier polarity(host);
+    const auto pol =
+        polarity.classify({d.heights.at(0) / 2,
+                           d.heights.at(0) + d.heights.at(1) / 2});
+    std::printf("  polarity: %s\n",
+                pol.mixed ? "true/anti interleaved" : "all true");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (argc >= 3) {
+        const std::string preset = argv[2];
+        if (cmd == "inspect")
+            return cmdInspect(preset);
+        if (cmd == "retention")
+            return cmdRetention(preset);
+        if (cmd == "report")
+            return cmdReport(preset);
+        if ((cmd == "hammer" || cmd == "press") && argc == 5) {
+            return cmdAttack(preset,
+                             dram::RowAddr(std::atoll(argv[3])),
+                             uint64_t(std::atoll(argv[4])),
+                             cmd == "press");
+        }
+        if (cmd == "rowcopy" && argc == 5) {
+            return cmdRowCopy(preset,
+                              dram::RowAddr(std::atoll(argv[3])),
+                              dram::RowAddr(std::atoll(argv[4])));
+        }
+    }
+    return usage();
+}
