@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_gate_types.dir/bench_fig13_gate_types.cc.o"
+  "CMakeFiles/bench_fig13_gate_types.dir/bench_fig13_gate_types.cc.o.d"
+  "bench_fig13_gate_types"
+  "bench_fig13_gate_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gate_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_horizontal.dir/bench_fig14_horizontal.cc.o"
+  "CMakeFiles/bench_fig14_horizontal.dir/bench_fig14_horizontal.cc.o.d"
+  "bench_fig14_horizontal"
+  "bench_fig14_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

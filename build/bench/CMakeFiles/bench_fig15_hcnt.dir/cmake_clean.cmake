@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_hcnt.dir/bench_fig15_hcnt.cc.o"
+  "CMakeFiles/bench_fig15_hcnt.dir/bench_fig15_hcnt.cc.o.d"
+  "bench_fig15_hcnt"
+  "bench_fig15_hcnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hcnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_swizzle.dir/bench_fig7_swizzle.cc.o"
+  "CMakeFiles/bench_fig7_swizzle.dir/bench_fig7_swizzle.cc.o.d"
+  "bench_fig7_swizzle"
+  "bench_fig7_swizzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

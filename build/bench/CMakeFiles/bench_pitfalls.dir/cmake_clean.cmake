@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pitfalls.dir/bench_pitfalls.cc.o"
+  "CMakeFiles/bench_pitfalls.dir/bench_pitfalls.cc.o.d"
+  "bench_pitfalls"
+  "bench_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protect_coupled.dir/bench_protect_coupled.cc.o"
+  "CMakeFiles/bench_protect_coupled.dir/bench_protect_coupled.cc.o.d"
+  "bench_protect_coupled"
+  "bench_protect_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protect_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

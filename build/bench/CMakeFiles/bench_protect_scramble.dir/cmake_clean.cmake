@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protect_scramble.dir/bench_protect_scramble.cc.o"
+  "CMakeFiles/bench_protect_scramble.dir/bench_protect_scramble.cc.o.d"
+  "bench_protect_scramble"
+  "bench_protect_scramble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protect_scramble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

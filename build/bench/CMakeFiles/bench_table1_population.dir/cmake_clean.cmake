@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_population.dir/bench_table1_population.cc.o"
+  "CMakeFiles/bench_table1_population.dir/bench_table1_population.cc.o.d"
+  "bench_table1_population"
+  "bench_table1_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_templating_ecc.dir/bench_templating_ecc.cc.o"
+  "CMakeFiles/bench_templating_ecc.dir/bench_templating_ecc.cc.o.d"
+  "bench_templating_ecc"
+  "bench_templating_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_templating_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_sidechannel.dir/power_sidechannel.cpp.o"
+  "CMakeFiles/power_sidechannel.dir/power_sidechannel.cpp.o.d"
+  "power_sidechannel"
+  "power_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

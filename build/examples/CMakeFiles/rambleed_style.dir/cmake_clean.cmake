@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rambleed_style.dir/rambleed_style.cpp.o"
+  "CMakeFiles/rambleed_style.dir/rambleed_style.cpp.o.d"
+  "rambleed_style"
+  "rambleed_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rambleed_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramscope_bender.dir/host.cc.o"
+  "CMakeFiles/dramscope_bender.dir/host.cc.o.d"
+  "CMakeFiles/dramscope_bender.dir/program.cc.o"
+  "CMakeFiles/dramscope_bender.dir/program.cc.o.d"
+  "libdramscope_bender.a"
+  "libdramscope_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramscope_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

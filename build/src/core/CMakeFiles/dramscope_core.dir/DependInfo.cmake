@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack/templating.cc" "src/core/CMakeFiles/dramscope_core.dir/attack/templating.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/attack/templating.cc.o.d"
+  "/root/repo/src/core/charact.cc" "src/core/CMakeFiles/dramscope_core.dir/charact.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/charact.cc.o.d"
+  "/root/repo/src/core/patterns.cc" "src/core/CMakeFiles/dramscope_core.dir/patterns.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/patterns.cc.o.d"
+  "/root/repo/src/core/physmap.cc" "src/core/CMakeFiles/dramscope_core.dir/physmap.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/physmap.cc.o.d"
+  "/root/repo/src/core/protect/drfm.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/drfm.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/drfm.cc.o.d"
+  "/root/repo/src/core/protect/ecc.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/ecc.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/ecc.cc.o.d"
+  "/root/repo/src/core/protect/rfm.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/rfm.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/rfm.cc.o.d"
+  "/root/repo/src/core/protect/rowswap.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/rowswap.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/rowswap.cc.o.d"
+  "/root/repo/src/core/protect/scramble.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/scramble.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/scramble.cc.o.d"
+  "/root/repo/src/core/protect/tracker.cc" "src/core/CMakeFiles/dramscope_core.dir/protect/tracker.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/protect/tracker.cc.o.d"
+  "/root/repo/src/core/re_adjacency.cc" "src/core/CMakeFiles/dramscope_core.dir/re_adjacency.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_adjacency.cc.o.d"
+  "/root/repo/src/core/re_coupled.cc" "src/core/CMakeFiles/dramscope_core.dir/re_coupled.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_coupled.cc.o.d"
+  "/root/repo/src/core/re_polarity.cc" "src/core/CMakeFiles/dramscope_core.dir/re_polarity.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_polarity.cc.o.d"
+  "/root/repo/src/core/re_retention.cc" "src/core/CMakeFiles/dramscope_core.dir/re_retention.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_retention.cc.o.d"
+  "/root/repo/src/core/re_subarray.cc" "src/core/CMakeFiles/dramscope_core.dir/re_subarray.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_subarray.cc.o.d"
+  "/root/repo/src/core/re_swizzle.cc" "src/core/CMakeFiles/dramscope_core.dir/re_swizzle.cc.o" "gcc" "src/core/CMakeFiles/dramscope_core.dir/re_swizzle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bender/CMakeFiles/dramscope_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/dramscope_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dramscope_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dramscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/dramscope_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/dramscope_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/chip.cc" "src/dram/CMakeFiles/dramscope_dram.dir/chip.cc.o" "gcc" "src/dram/CMakeFiles/dramscope_dram.dir/chip.cc.o.d"
+  "/root/repo/src/dram/config.cc" "src/dram/CMakeFiles/dramscope_dram.dir/config.cc.o" "gcc" "src/dram/CMakeFiles/dramscope_dram.dir/config.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/dramscope_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/dramscope_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/types.cc" "src/dram/CMakeFiles/dramscope_dram.dir/types.cc.o" "gcc" "src/dram/CMakeFiles/dramscope_dram.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dramscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

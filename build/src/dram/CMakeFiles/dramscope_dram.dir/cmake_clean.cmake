@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramscope_dram.dir/bank.cc.o"
+  "CMakeFiles/dramscope_dram.dir/bank.cc.o.d"
+  "CMakeFiles/dramscope_dram.dir/chip.cc.o"
+  "CMakeFiles/dramscope_dram.dir/chip.cc.o.d"
+  "CMakeFiles/dramscope_dram.dir/config.cc.o"
+  "CMakeFiles/dramscope_dram.dir/config.cc.o.d"
+  "CMakeFiles/dramscope_dram.dir/geometry.cc.o"
+  "CMakeFiles/dramscope_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/dramscope_dram.dir/types.cc.o"
+  "CMakeFiles/dramscope_dram.dir/types.cc.o.d"
+  "libdramscope_dram.a"
+  "libdramscope_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramscope_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

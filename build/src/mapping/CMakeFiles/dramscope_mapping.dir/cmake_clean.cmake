@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramscope_mapping.dir/dimm.cc.o"
+  "CMakeFiles/dramscope_mapping.dir/dimm.cc.o.d"
+  "libdramscope_mapping.a"
+  "libdramscope_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramscope_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

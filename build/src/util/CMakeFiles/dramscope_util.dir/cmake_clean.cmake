@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramscope_util.dir/rng.cc.o"
+  "CMakeFiles/dramscope_util.dir/rng.cc.o.d"
+  "CMakeFiles/dramscope_util.dir/table.cc.o"
+  "CMakeFiles/dramscope_util.dir/table.cc.o.d"
+  "libdramscope_util.a"
+  "libdramscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

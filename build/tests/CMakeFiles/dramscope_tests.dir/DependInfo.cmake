@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bank.cc" "tests/CMakeFiles/dramscope_tests.dir/test_bank.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_bank.cc.o.d"
+  "/root/repo/tests/test_bender_edge.cc" "tests/CMakeFiles/dramscope_tests.dir/test_bender_edge.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_bender_edge.cc.o.d"
+  "/root/repo/tests/test_bitvec.cc" "tests/CMakeFiles/dramscope_tests.dir/test_bitvec.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_bitvec.cc.o.d"
+  "/root/repo/tests/test_charact.cc" "tests/CMakeFiles/dramscope_tests.dir/test_charact.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_charact.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/dramscope_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/dramscope_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_dimm_re.cc" "tests/CMakeFiles/dramscope_tests.dir/test_dimm_re.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_dimm_re.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/dramscope_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/dramscope_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/dramscope_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_host.cc" "tests/CMakeFiles/dramscope_tests.dir/test_host.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_host.cc.o.d"
+  "/root/repo/tests/test_mapping.cc" "tests/CMakeFiles/dramscope_tests.dir/test_mapping.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_mapping.cc.o.d"
+  "/root/repo/tests/test_model_properties.cc" "tests/CMakeFiles/dramscope_tests.dir/test_model_properties.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_model_properties.cc.o.d"
+  "/root/repo/tests/test_patterns.cc" "tests/CMakeFiles/dramscope_tests.dir/test_patterns.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/test_presets_sweep.cc" "tests/CMakeFiles/dramscope_tests.dir/test_presets_sweep.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_presets_sweep.cc.o.d"
+  "/root/repo/tests/test_protect.cc" "tests/CMakeFiles/dramscope_tests.dir/test_protect.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_protect.cc.o.d"
+  "/root/repo/tests/test_re_integration.cc" "tests/CMakeFiles/dramscope_tests.dir/test_re_integration.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_re_integration.cc.o.d"
+  "/root/repo/tests/test_re_retention.cc" "tests/CMakeFiles/dramscope_tests.dir/test_re_retention.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_re_retention.cc.o.d"
+  "/root/repo/tests/test_rfm.cc" "tests/CMakeFiles/dramscope_tests.dir/test_rfm.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_rfm.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/dramscope_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/dramscope_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_swizzle.cc" "tests/CMakeFiles/dramscope_tests.dir/test_swizzle.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_swizzle.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/dramscope_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/dramscope_tests.dir/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dramscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/dramscope_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/dramscope_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dramscope_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dramscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramscope_cli.dir/dramscope_cli.cc.o"
+  "CMakeFiles/dramscope_cli.dir/dramscope_cli.cc.o.d"
+  "dramscope_cli"
+  "dramscope_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
