@@ -6,10 +6,12 @@
 #ifndef DRAMSCOPE_BENCH_BENCH_COMMON_H
 #define DRAMSCOPE_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "core/sweep.h"
 #include "util/table.h"
 
 namespace dramscope {
@@ -43,6 +45,40 @@ header(const char *experiment, const char *expectation)
     std::printf("(simulated substrate; compare shapes, not absolute "
                 "values)\n");
 }
+
+/**
+ * Reports the effective sweep parallelism of this run (DRAMSCOPE_JOBS
+ * knob; results are bit-identical at any job count, see core/sweep.h).
+ */
+inline void
+jobsBanner()
+{
+    const unsigned jobs = core::resolveJobs();
+    std::printf("sweep jobs: %u (DRAMSCOPE_JOBS; 1 = serial, output "
+                "identical at any value)\n",
+                jobs);
+}
+
+/** Wall-clock stopwatch for reporting sweep throughput. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto dt = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /**
  * Writes @p table as <DRAMSCOPE_CSV_DIR>/<name>.csv when the

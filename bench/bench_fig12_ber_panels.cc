@@ -46,6 +46,8 @@ main()
         "victim wordline parity; RowPress flips charged cells only, "
         "on the opposite gate phase to RowHammer");
 
+    benchutil::jobsBanner();
+
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
@@ -57,6 +59,8 @@ main()
         core::PhysMap::fromSwizzle(chip.swizzle(), cfg.columnsPerRow(),
                                    cfg.rdDataBits),
         opts);
+
+    benchutil::WallTimer timer;
 
     struct Panel
     {
@@ -118,5 +122,7 @@ main()
     std::printf("\nRowPress discharged panels are empty (press flips "
                 "charged cells only, SS II-D); hammer and press flip "
                 "opposite phases (footnote 7 of the paper).\n");
+    std::printf("panel sweep wall time: %.2f s at %u jobs\n",
+                timer.seconds(), charact.sweepJobs());
     return 0;
 }

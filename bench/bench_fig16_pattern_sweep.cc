@@ -25,6 +25,8 @@ main()
         "baseline BER: vertically opposite values repeating in 2-bit "
         "runs, which maximizes the distance-two victim influence");
 
+    benchutil::jobsBanner();
+
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
@@ -37,6 +39,7 @@ main()
                                    cfg.rdDataBits),
         opts);
 
+    benchutil::WallTimer timer;
     const double baseline = charact.patternBer(0xF, 0x0);
     std::printf("baseline BER (victim 0xFF, aggressor 0x00): %.4f\n\n",
                 baseline);
@@ -83,5 +86,7 @@ main()
                 "BER = %.3f (paper: 1.69x); complementary 2-bit "
                 "patterns dominate the top ranks.\n",
                 rel[0x3][0xC]);
+    std::printf("16x16 sweep wall time: %.2f s at %u jobs\n",
+                timer.seconds(), charact.sweepJobs());
     return 0;
 }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bender/host.h"
+#include "core/charact.h"
 #include "core/re_subarray.h"
 #include "dram/chip.h"
 
@@ -121,6 +122,68 @@ BM_ProbeCopyClassification(benchmark::State &state)
         benchmark::DoNotOptimize(mapper.probeCopy(1000, 1001));
 }
 BENCHMARK(BM_ProbeCopyClassification);
+
+/**
+ * Sweep-routed figure workload: one Figure 12 BER panel through the
+ * parallel sweep engine.  The Arg is the job count — compare
+ * /1 vs /4 real time for the parallel speedup (results are
+ * bit-identical at every job count; see core/sweep.h).
+ */
+void
+BM_SweepBerPanel(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    core::CharactOptions opts;
+    opts.victimRows = 64;
+    opts.baseRow = 1024;
+    opts.jobs = unsigned(state.range(0));
+    core::Characterization charact(
+        host,
+        core::PhysMap::fromSwizzle(chip.swizzle(),
+                                   chip.config().columnsPerRow(),
+                                   chip.config().rdDataBits),
+        opts);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(charact.berVsPhysIndex(
+            dram::AibMechanism::RowHammer, true, true));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            opts.victimRows);
+}
+BENCHMARK(BM_SweepBerPanel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** Sweep-routed Figure 16 pattern cell (two wordline parities). */
+void
+BM_SweepPatternBer(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    core::CharactOptions opts;
+    opts.victimRows = 32;
+    opts.baseRow = 1024;
+    opts.jobs = unsigned(state.range(0));
+    core::Characterization charact(
+        host,
+        core::PhysMap::fromSwizzle(chip.swizzle(),
+                                   chip.config().columnsPerRow(),
+                                   chip.config().rdDataBits),
+        opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(charact.patternBer(0x3, 0xC));
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2 *
+                            opts.victimRows);
+}
+BENCHMARK(BM_SweepPatternBer)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_RetentionScan(benchmark::State &state)

@@ -15,7 +15,8 @@ namespace core {
 
 Characterization::Characterization(bender::Host &host, PhysMap map,
                                    CharactOptions opts)
-    : host_(host), map_(std::move(map)), opts_(opts)
+    : host_(host), map_(std::move(map)), opts_(opts),
+      sweep_(host, SweepOptions{opts.jobs, opts.sweepSeed})
 {
     row_bits_ = host_.config().rowBits;
     fatalIf(map_.rowBits() != row_bits_,
@@ -49,26 +50,42 @@ Characterization::runAttack(dram::AibMechanism mech, bool upper_aggressor,
     const uint32_t shift =
         (want_parity - ((opts_.baseRow + victim_off) & 1)) & 1;
 
-    for (uint32_t g = 0; g < opts_.victimRows; ++g) {
-        const dram::RowAddr group = opts_.baseRow + shift + 4 * g;
-        const dram::RowAddr victim_phys = group + victim_off;
-        const dram::RowAddr aggr_phys = group + aggr_off;
-        fatalIf(aggr_phys >= cfg.rowsPerBank,
+    // Bound-check the whole probe region up front so the failure mode
+    // is identical whichever shard would hit it first.
+    if (opts_.victimRows > 0) {
+        const dram::RowAddr last =
+            opts_.baseRow + shift + 4 * (opts_.victimRows - 1) + 2;
+        fatalIf(last >= cfg.rowsPerBank,
                 "runAttack: probe region exceeds the bank");
+    }
 
-        host_.writeRowBits(b, logicalOf(victim_phys), victim_bits);
-        host_.writeRowBits(b, logicalOf(aggr_phys), aggr_bits);
+    // One self-contained sweep unit per victim group: each writes both
+    // of its rows before hammering and reading, so a thread-local
+    // replica yields the same bits as the serial shared host.
+    // RowPress is the same command kernel with a long open time.
+    (void)mech;
+    const auto diffs = sweep_.map<BitVec>(
+        opts_.victimRows, [&](ShardContext &ctx) {
+            const dram::RowAddr group =
+                opts_.baseRow + shift + 4 * ctx.shard;
+            const dram::RowAddr victim_phys = group + victim_off;
+            const dram::RowAddr aggr_phys = group + aggr_off;
 
-        // RowPress is the same command kernel with a long open time.
-        (void)mech;
-        host_.hammer(b, logicalOf(aggr_phys), count, open_ns);
+            ctx.host.writeRowBits(b, logicalOf(victim_phys), victim_bits);
+            ctx.host.writeRowBits(b, logicalOf(aggr_phys), aggr_bits);
+            ctx.host.hammer(b, logicalOf(aggr_phys), count, open_ns);
 
-        const BitVec read = host_.readRowBits(b, logicalOf(victim_phys));
-        for (uint32_t i = 0; i < row_bits_; ++i) {
-            if (read.get(i) != victim_bits.get(i))
-                ++result.flipsPerHostBit[i];
-        }
-        result.physRows.push_back(victim_phys);
+            BitVec diff = ctx.host.readRowBits(b, logicalOf(victim_phys));
+            diff ^= victim_bits;
+            return diff;
+        });
+
+    // Merge in shard order.
+    for (uint32_t g = 0; g < opts_.victimRows; ++g) {
+        for (const size_t i : diffs[g].onesPositions())
+            ++result.flipsPerHostBit[i];
+        result.physRows.push_back(opts_.baseRow + shift + 4 * g +
+                                  victim_off);
         ++result.rows;
     }
     return result;
@@ -148,19 +165,27 @@ Characterization::edgeVsTypical(
 
     auto measure = [&](const std::vector<dram::RowAddr> &aggressors,
                        bool victim_one) {
-        BitErrorRate ber;
         BitVec victim(row_bits_, victim_one);
         BitVec aggr(row_bits_, !victim_one);
-        for (const auto aggr_phys : aggressors) {
-            const dram::RowAddr victim_phys = aggr_phys + 1;
-            host_.writeRowBits(b, logicalOf(victim_phys), victim);
-            host_.writeRowBits(b, logicalOf(aggr_phys), aggr);
-            host_.hammer(b, logicalOf(aggr_phys), opts_.hammerCount,
-                         opts_.hammerOpenNs);
-            const BitVec read =
-                host_.readRowBits(b, logicalOf(victim_phys));
-            ber.add(read.hammingDistance(victim), row_bits_);
-        }
+        // One sweep unit per aggressor row; integer flip counts merge
+        // associatively, so the shard-order sum is bit-identical to
+        // the serial accumulation.
+        const auto flips = sweep_.map<uint64_t>(
+            uint32_t(aggressors.size()),
+            [&](ShardContext &ctx) -> uint64_t {
+                const dram::RowAddr aggr_phys = aggressors[ctx.shard];
+                const dram::RowAddr victim_phys = aggr_phys + 1;
+                ctx.host.writeRowBits(b, logicalOf(victim_phys), victim);
+                ctx.host.writeRowBits(b, logicalOf(aggr_phys), aggr);
+                ctx.host.hammer(b, logicalOf(aggr_phys),
+                                opts_.hammerCount, opts_.hammerOpenNs);
+                const BitVec read =
+                    ctx.host.readRowBits(b, logicalOf(victim_phys));
+                return read.hammingDistance(victim);
+            });
+        BitErrorRate ber;
+        for (const uint64_t f : flips)
+            ber.add(f, row_bits_);
         return ber.value();
     };
 
@@ -264,7 +289,8 @@ Characterization::relativeBerAggrNeighbors(bool vic0_one, bool aggr0_same,
 }
 
 uint64_t
-Characterization::hcntForGroup(dram::RowAddr victim_phys, bool upper,
+Characterization::hcntForGroup(bender::Host &host,
+                               dram::RowAddr victim_phys, bool upper,
                                const BitVec &victim_bits,
                                const BitVec &aggr_bits,
                                const std::vector<uint32_t> &vic0_positions)
@@ -274,11 +300,11 @@ Characterization::hcntForGroup(dram::RowAddr victim_phys, bool upper,
         upper ? victim_phys + 1 : victim_phys - 1;
 
     auto probe = [&](uint64_t count) {
-        host_.writeRowBits(b, logicalOf(victim_phys), victim_bits);
-        host_.writeRowBits(b, logicalOf(aggr_phys), aggr_bits);
-        host_.hammer(b, logicalOf(aggr_phys), count,
-                     opts_.hammerOpenNs);
-        const BitVec read = host_.readRowBits(b, logicalOf(victim_phys));
+        host.writeRowBits(b, logicalOf(victim_phys), victim_bits);
+        host.writeRowBits(b, logicalOf(aggr_phys), aggr_bits);
+        host.hammer(b, logicalOf(aggr_phys), count,
+                    opts_.hammerOpenNs);
+        const BitVec read = host.readRowBits(b, logicalOf(victim_phys));
         for (uint32_t i : vic0_positions) {
             if (read.get(i) != victim_bits.get(i))
                 return true;
@@ -304,14 +330,17 @@ Characterization::medianHcnt(const BitVec &victim_bits,
                              const BitVec &aggr_bits)
 {
     const auto positions = latticePositions();
-    std::vector<double> hcnts;
     const uint32_t groups = std::min<uint32_t>(opts_.victimRows, 24);
-    for (uint32_t g = 0; g < groups; ++g) {
-        const dram::RowAddr victim_phys = opts_.baseRow + 4 * g + 1;
-        hcnts.push_back(double(hcntForGroup(victim_phys, true,
-                                            victim_bits, aggr_bits,
-                                            positions)));
-    }
+    // One binary search per group, sharded; the median is taken over
+    // the shard-ordered results.
+    std::vector<double> hcnts = sweep_.map<double>(
+        groups, [&](ShardContext &ctx) {
+            const dram::RowAddr victim_phys =
+                opts_.baseRow + 4 * ctx.shard + 1;
+            return double(hcntForGroup(ctx.host, victim_phys, true,
+                                       victim_bits, aggr_bits,
+                                       positions));
+        });
     return median(std::move(hcnts));
 }
 
@@ -328,16 +357,26 @@ Characterization::relativeHcnt(bool vic0_one, bool dist1_opposite,
     const BitVec var_bits =
         lattice(vic0_one, dist1_opposite, dist2_opposite);
 
-    std::vector<double> ratios;
     const uint32_t groups = std::min<uint32_t>(opts_.victimRows, 24);
-    for (uint32_t g = 0; g < groups; ++g) {
-        const dram::RowAddr victim_phys = opts_.baseRow + 4 * g + 1;
-        const uint64_t base =
-            hcntForGroup(victim_phys, true, base_bits, aggr, positions);
-        const uint64_t variant =
-            hcntForGroup(victim_phys, true, var_bits, aggr, positions);
-        if (base > 0)
-            ratios.push_back(double(variant) / double(base));
+    // Each shard measures its group under both patterns on the same
+    // device, preserving the exact per-group pairing of the serial
+    // path; a negative sentinel marks groups without a baseline.
+    const auto raw = sweep_.map<double>(
+        groups, [&](ShardContext &ctx) {
+            const dram::RowAddr victim_phys =
+                opts_.baseRow + 4 * ctx.shard + 1;
+            const uint64_t base = hcntForGroup(ctx.host, victim_phys,
+                                               true, base_bits, aggr,
+                                               positions);
+            const uint64_t variant = hcntForGroup(ctx.host, victim_phys,
+                                                  true, var_bits, aggr,
+                                                  positions);
+            return base > 0 ? double(variant) / double(base) : -1.0;
+        });
+    std::vector<double> ratios;
+    for (const double r : raw) {
+        if (r >= 0.0)
+            ratios.push_back(r);
     }
     return median(std::move(ratios));
 }

@@ -17,6 +17,7 @@
 
 #include "bender/host.h"
 #include "core/physmap.h"
+#include "core/sweep.h"
 #include "dram/geometry.h"
 #include "dram/types.h"
 
@@ -42,6 +43,17 @@ struct CharactOptions
 
     /** Internal row remap discovered by the AdjacencyMapper. */
     dram::RowRemapScheme rowRemap = dram::RowRemapScheme::None;
+
+    /**
+     * Parallel sweep jobs: 0 resolves the DRAMSCOPE_JOBS environment
+     * knob (default: hardware concurrency); 1 forces the legacy
+     * serial path on the caller's host.  Results are bit-identical
+     * either way (see core/sweep.h).
+     */
+    unsigned jobs = 0;
+
+    /** Base seed of the per-shard RNG streams. */
+    uint64_t sweepSeed = 0x5eedULL;
 };
 
 /** One attack run's raw outcome. */
@@ -150,13 +162,16 @@ class Characterization
     /** The physical map in use. */
     const PhysMap &physMap() const { return map_; }
 
+    /** Effective sweep worker count (1 = legacy serial path). */
+    unsigned sweepJobs() const { return sweep_.jobs(); }
+
   private:
     /** Median Hcnt over victim rows for one pattern pair. */
     double medianHcnt(const BitVec &victim_bits, const BitVec &aggr_bits);
 
     /** First-flip search on one group (binary search on count). */
-    uint64_t hcntForGroup(dram::RowAddr victim_phys, bool upper,
-                          const BitVec &victim_bits,
+    uint64_t hcntForGroup(bender::Host &host, dram::RowAddr victim_phys,
+                          bool upper, const BitVec &victim_bits,
                           const BitVec &aggr_bits,
                           const std::vector<uint32_t> &vic0_positions);
 
@@ -173,6 +188,7 @@ class Characterization
     PhysMap map_;
     CharactOptions opts_;
     uint32_t row_bits_;
+    SweepRunner sweep_;
 };
 
 } // namespace core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sweep engine implementation.
+ */
+
+#include "core/sweep.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "dram/chip.h"
+
+namespace dramscope {
+namespace core {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("DRAMSCOPE_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return unsigned(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/** One worker's private device: a chip copy plus its host. */
+struct SweepRunner::Replica
+{
+    dram::Chip chip;
+    bender::Host host;
+
+    explicit Replica(const dram::DeviceConfig &cfg)
+        : chip(cfg), host(chip)
+    {
+    }
+};
+
+SweepRunner::SweepRunner(bender::Host &host, SweepOptions opts)
+    : host_(host), jobs_(resolveJobs(opts.jobs)), seed_(opts.seed)
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::forEachShard(uint32_t shards,
+                          const std::function<void(ShardContext &)> &unit)
+{
+    if (shards == 0)
+        return;
+
+    if (jobs_ <= 1 || shards == 1) {
+        // Legacy serial path: shard order on the caller's host.
+        for (uint32_t s = 0; s < shards; ++s) {
+            ShardContext ctx{host_, Rng(hashCombine(seed_, s)), s, shards};
+            unit(ctx);
+        }
+        return;
+    }
+
+    if (!pool_) {
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+        replicas_.resize(pool_->size());
+    }
+    const dram::DeviceConfig &cfg = host_.config();
+    parallelFor(*pool_, shards, [&](uint64_t s) {
+        // Each worker touches only its own replica slot, so the lazy
+        // construction below is race-free without locking.
+        auto &replica = replicas_[size_t(ThreadPool::currentWorker())];
+        if (!replica)
+            replica = std::make_unique<Replica>(cfg);
+        ShardContext ctx{replica->host, Rng(hashCombine(seed_, s)),
+                         uint32_t(s), shards};
+        unit(ctx);
+    });
+}
+
+} // namespace core
+} // namespace dramscope

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parallel sweep engine: shards a characterization experiment into
+ * independent units and runs each against a thread-local device
+ * replica, with results bit-identical to the serial path.
+ *
+ * Determinism contract
+ * --------------------
+ * The device model is pure: all per-cell randomness is a stateless
+ * hash of (variationSeed, cell coordinate), and all physics depends
+ * only on time *deltas* within a command sequence.  A sweep unit must
+ * therefore be **self-contained**: it writes every row it will read
+ * before hammering and reading it, and never touches rows another
+ * unit reads afterwards without rewriting them.  Under that contract
+ * a unit produces the same bits on a fresh replica as on the shared
+ * serial host, so
+ *
+ *   - results are merged in *shard order* (never completion order),
+ *   - each shard's Rng stream is split from the base seed by *shard
+ *     index* (never by worker or scheduling order),
+ *   - replicas are constructed from the same DeviceConfig (same
+ *     variationSeed) as the legacy host,
+ *
+ * and DRAMSCOPE_JOBS=N output is bit-identical to DRAMSCOPE_JOBS=1
+ * for the same config and seed (locked down by tests/test_sweep.cc).
+ */
+
+#ifndef DRAMSCOPE_CORE_SWEEP_H
+#define DRAMSCOPE_CORE_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bender/host.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace dramscope {
+namespace core {
+
+/** Per-shard execution context handed to each sweep unit. */
+struct ShardContext
+{
+    /** Device under test: a thread-local replica when parallel, the
+     *  legacy shared host when serial. */
+    bender::Host &host;
+
+    /** Deterministic stream split by shard index from the base seed. */
+    Rng rng;
+
+    uint32_t shard = 0;       //!< This unit's index.
+    uint32_t shardCount = 1;  //!< Total units in the sweep.
+};
+
+/** Sweep engine options. */
+struct SweepOptions
+{
+    /**
+     * Worker count: 0 resolves the DRAMSCOPE_JOBS environment knob
+     * (default: hardware concurrency); 1 selects the legacy serial
+     * path on the caller's host.
+     */
+    unsigned jobs = 0;
+
+    /** Base seed of the per-shard Rng streams. */
+    uint64_t seed = 0x5eedULL;
+};
+
+/**
+ * Resolves the effective job count: an explicit @p requested value
+ * wins, then a positive integer in DRAMSCOPE_JOBS, then hardware
+ * concurrency (at least 1).
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+/**
+ * Runs sweep units across a lazily created worker pool, one device
+ * replica per worker.  The pool and the replicas persist across
+ * calls, so repeated figure entry points pay the spin-up cost once.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param host Legacy host: serial shards run directly on it, and
+     *        parallel replicas copy its DeviceConfig.  Borrowed; must
+     *        outlive the runner.
+     * @param opts Job count and base seed.
+     */
+    explicit SweepRunner(bender::Host &host, SweepOptions opts = {});
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** Effective worker count (1 = serial legacy path). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Base seed of the per-shard Rng streams. */
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * Runs @p unit once per shard and returns the results in shard
+     * order.  @p unit must honor the self-containment contract above
+     * and must not touch the legacy host (use ctx.host).
+     */
+    template <typename R>
+    std::vector<R>
+    map(uint32_t shards, const std::function<R(ShardContext &)> &unit)
+    {
+        std::vector<R> out(shards);
+        forEachShard(shards,
+                     [&](ShardContext &ctx) { out[ctx.shard] = unit(ctx); });
+        return out;
+    }
+
+    /** Runs @p unit once per shard; results via side effects into
+     *  shard-indexed slots (no two shards may share a slot). */
+    void forEachShard(uint32_t shards,
+                      const std::function<void(ShardContext &)> &unit);
+
+  private:
+    struct Replica;  //!< Thread-local Chip + Host pair.
+
+    bender::Host &host_;
+    unsigned jobs_;
+    uint64_t seed_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_SWEEP_H

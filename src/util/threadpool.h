@@ -1,0 +1,228 @@
+/**
+ * @file
+ * A small work-stealing thread pool.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm)
+ * and steals FIFO from the other workers when it runs dry.  External
+ * submissions are distributed round-robin; submissions from inside a
+ * worker go to that worker's own deque so nested producers keep their
+ * locality.
+ *
+ * The pool makes no ordering promises between tasks — determinism is
+ * the *caller's* job (see core/sweep.h, which keys every shard's RNG
+ * stream and merge slot by shard index, never by scheduling order).
+ */
+
+#ifndef DRAMSCOPE_UTIL_THREADPOOL_H
+#define DRAMSCOPE_UTIL_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dramscope {
+
+/** Work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawns the worker threads.
+     * @param threads Worker count; 0 = hardware concurrency.
+     */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0) {
+            threads = std::thread::hardware_concurrency();
+            if (threads == 0)
+                threads = 1;
+        }
+        queues_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            queues_.push_back(std::make_unique<WorkerQueue>());
+        threads_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    /** Runs every task still queued, then joins the workers. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(wake_mu_);
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return unsigned(threads_.size()); }
+
+    /**
+     * Index of the calling thread within its owning pool, or -1 when
+     * called from a thread no pool owns.  Lets callers keep cheap
+     * per-worker state (e.g. one device replica per worker).
+     */
+    static int currentWorker() { return worker_index_; }
+
+    /**
+     * Enqueues @p fn and returns a future for its result.  Exceptions
+     * thrown by the task surface from future::get().  Do not block on
+     * a future from inside a worker of the same pool: with every
+     * worker waiting there would be no thread left to run the task.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        push([task] { (*task)(); });
+        return fut;
+    }
+
+  private:
+    using Task = std::function<void()>;
+
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void
+    push(Task task)
+    {
+        size_t q;
+        if (worker_pool_ == this && worker_index_ >= 0)
+            q = size_t(worker_index_);
+        else
+            q = push_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+        {
+            std::lock_guard<std::mutex> lock(queues_[q]->mu);
+            queues_[q]->tasks.push_back(std::move(task));
+        }
+        {
+            // pending_ changes under wake_mu_ so a worker re-checking
+            // its wait predicate can never miss the notify.
+            std::lock_guard<std::mutex> lock(wake_mu_);
+            pending_.fetch_add(1, std::memory_order_relaxed);
+        }
+        wake_cv_.notify_one();
+    }
+
+    bool
+    popLocal(unsigned self, Task &out)
+    {
+        auto &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (q.tasks.empty())
+            return false;
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        return true;
+    }
+
+    bool
+    steal(unsigned self, Task &out)
+    {
+        const size_t n = queues_.size();
+        for (size_t k = 1; k < n; ++k) {
+            auto &q = *queues_[(self + k) % n];
+            std::lock_guard<std::mutex> lock(q.mu);
+            if (q.tasks.empty())
+                continue;
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    workerLoop(unsigned index)
+    {
+        worker_index_ = int(index);
+        worker_pool_ = this;
+        for (;;) {
+            Task task;
+            if (popLocal(index, task) || steal(index, task)) {
+                pending_.fetch_sub(1, std::memory_order_relaxed);
+                task();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(wake_mu_);
+            if (stop_ && pending_.load(std::memory_order_relaxed) == 0)
+                return;
+            wake_cv_.wait(lock, [this] {
+                return stop_ ||
+                       pending_.load(std::memory_order_relaxed) > 0;
+            });
+            if (stop_ && pending_.load(std::memory_order_relaxed) == 0)
+                return;
+        }
+    }
+
+    static thread_local int worker_index_;
+    static thread_local const ThreadPool *worker_pool_;
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+    std::atomic<size_t> push_cursor_{0};
+    std::atomic<size_t> pending_{0};
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+    bool stop_ = false;
+};
+
+inline thread_local int ThreadPool::worker_index_ = -1;
+inline thread_local const ThreadPool *ThreadPool::worker_pool_ = nullptr;
+
+/**
+ * Runs fn(0) .. fn(count - 1) across the pool and waits for all of
+ * them.  Always joins every iteration before returning; if any threw,
+ * rethrows the exception of the *lowest-indexed* failing iteration
+ * (deterministic regardless of scheduling).  Must not be called from
+ * a worker of @p pool (see ThreadPool::submit).
+ */
+template <typename Fn>
+inline void
+parallelFor(ThreadPool &pool, uint64_t count, Fn &&fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (uint64_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace dramscope
+
+#endif // DRAMSCOPE_UTIL_THREADPOOL_H

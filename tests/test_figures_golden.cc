@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Shape-regression layer for the figure pipeline on the tiny config.
+ *
+ * These tests pin the qualitative physics behind the paper figures —
+ * the orderings and asymmetries the evaluation section reports — so a
+ * future performance refactor (sweep engine, model fast paths, ...)
+ * cannot silently change the figures while the unit tests stay green.
+ * They intentionally re-check a few properties covered elsewhere, but
+ * through the exact entry points the figure benches call, under both
+ * the serial and the parallel sweep path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/charact.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using core::CharactOptions;
+using core::Characterization;
+using dram::AibMechanism;
+
+/** Fixture parameterized over the sweep job count: every golden shape
+ *  must hold on the legacy serial path and on the parallel engine. */
+class FigureGoldenTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    FigureGoldenTest()
+        : cfg_(testutil::tinyPlain()), chip_(cfg_), host_(chip_)
+    {
+        opts_.victimRows = 24;
+        opts_.baseRow = 300;
+        opts_.jobs = GetParam();
+        charact_ = std::make_unique<Characterization>(
+            host_,
+            core::PhysMap::fromSwizzle(chip_.swizzle(),
+                                       cfg_.columnsPerRow(),
+                                       cfg_.rdDataBits),
+            opts_);
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Chip chip_;
+    bender::Host host_;
+    CharactOptions opts_;
+    std::unique_ptr<Characterization> charact_;
+};
+
+TEST_P(FigureGoldenTest, Fig10EdgeSubarrayBerStaysBelowTypical)
+{
+    // Figure 10 / O5-O6: edge subarrays flip less than typical ones
+    // (tandem wordline halves the disturbance), and the edge gap is
+    // wider for (aggr 0, vic 1) than for (aggr 1, vic 0).
+    const std::vector<dram::RowAddr> edge = {4, 12, 20, 28};
+    const std::vector<dram::RowAddr> typical = {52, 60, 68, 76};
+    const auto r = charact_->edgeVsTypical(typical, edge);
+    ASSERT_GT(r.typicalAggr0Vic1, 0.0);
+    ASSERT_GT(r.typicalAggr1Vic0, 0.0);
+    EXPECT_LT(r.edgeAggr0Vic1, r.typicalAggr0Vic1);
+    EXPECT_LT(r.edgeAggr1Vic0, r.typicalAggr1Vic0);
+    EXPECT_LT(r.edgeAggr1Vic0 / r.typicalAggr1Vic0,
+              r.edgeAggr0Vic1 / r.typicalAggr0Vic1);
+}
+
+TEST_P(FigureGoldenTest, Fig12AlternationPhaseFollowsPanelKnobs)
+{
+    // Figure 12 / O7-O8: BER alternates with physical bit index and
+    // the phase follows XOR(victim data, aggressor direction).
+    for (const bool data_one : {false, true}) {
+        for (const bool upper : {false, true}) {
+            const auto ber = charact_->berVsPhysIndex(
+                AibMechanism::RowHammer, data_one, upper);
+            double even = 0, odd = 0;
+            for (size_t k = 0; k < ber.size(); ++k)
+                ((k & 1) == 0 ? even : odd) += ber[k];
+            if (data_one == upper)
+                EXPECT_GT(even, 3.0 * odd)
+                    << "data=" << data_one << " upper=" << upper;
+            else
+                EXPECT_GT(odd, 3.0 * even)
+                    << "data=" << data_one << " upper=" << upper;
+        }
+    }
+}
+
+TEST_P(FigureGoldenTest, Fig13DischargedGateAsymmetryPresent)
+{
+    // Figure 13 / O9-O10: RowHammer flips discharged cells through
+    // one gate type only, and charged cells through the other.
+    const auto hammer = charact_->gateTypeBer(AibMechanism::RowHammer);
+    ASSERT_GT(hammer.dischargedGateB, 0.0);
+    EXPECT_GT(hammer.dischargedGateB, 5.0 * hammer.dischargedGateA);
+    ASSERT_GT(hammer.chargedGateA, 0.0);
+    EXPECT_GT(hammer.chargedGateA, 5.0 * hammer.chargedGateB);
+
+    // RowPress never flips discharged cells and uses the opposite
+    // gate phase for the charged ones (footnote 7 of the paper).
+    const auto press = charact_->gateTypeBer(AibMechanism::RowPress);
+    EXPECT_EQ(press.dischargedGateA, 0.0);
+    EXPECT_EQ(press.dischargedGateB, 0.0);
+    EXPECT_GT(press.chargedGateB, 5.0 * press.chargedGateA);
+}
+
+TEST_P(FigureGoldenTest, Fig14NeighborInfluenceOrdering)
+{
+    // Figure 14a / O11: opposite-valued victim neighbours raise BER,
+    // distance-2 more than distance-1.
+    const double d1 =
+        charact_->relativeBerVictimNeighbors(false, true, false);
+    const double d2 =
+        charact_->relativeBerVictimNeighbors(false, false, true);
+    EXPECT_GT(d1, 0.95);
+    EXPECT_GT(d2, d1);
+
+    // Figure 14b / O12: same-valued aggressor cells suppress BER.
+    const double a0 =
+        charact_->relativeBerAggrNeighbors(false, true, false, false);
+    EXPECT_LT(a0, 0.9);
+}
+
+TEST_P(FigureGoldenTest, Fig15OppositeNeighborsLowerHcnt)
+{
+    // Figure 15 / O13: opposite-valued neighbours lower the first-flip
+    // hammer count; distance-2 dominates distance-1.
+    const double d1 = charact_->relativeHcnt(false, true, false);
+    const double d2 = charact_->relativeHcnt(false, false, true);
+    EXPECT_LT(d1, 1.0);
+    EXPECT_LT(d2, d1);
+    EXPECT_GT(d2, 0.3);
+}
+
+TEST_P(FigureGoldenTest, Fig16SolidVsStripedPatternOrdering)
+{
+    // Figures 16/17 / O14: relative to the solid baseline (victim
+    // 0xFF, aggressor 0x00), the 2-bit complementary pattern 0x33/0xCC
+    // is the worst case, beats the 1-bit stripe 0x55/0xAA, and a
+    // same-polarity aggressor is strictly weaker than a complementary
+    // one.
+    const double solid = charact_->patternBer(0xF, 0x0);
+    const double worst = charact_->patternBer(0x3, 0xC);
+    const double striped = charact_->patternBer(0x5, 0xA);
+    const double matching = charact_->patternBer(0x3, 0x3);
+    ASSERT_GT(solid, 0.0);
+    EXPECT_GT(worst / solid, 1.15);
+    EXPECT_GT(worst, striped);
+    EXPECT_GT(worst, matching);
+}
+
+TEST_P(FigureGoldenTest, FigurePipelineIsRunToRunDeterministic)
+{
+    // The same experiment on a fresh identical device reproduces the
+    // exact same bits — the invariant every golden test above (and the
+    // serial/parallel equivalence layer) stands on.
+    const auto once = charact_->berVsPhysIndex(AibMechanism::RowHammer,
+                                               true, true);
+    dram::Chip chip2(cfg_);
+    bender::Host host2(chip2);
+    Characterization again(
+        host2,
+        core::PhysMap::fromSwizzle(chip2.swizzle(), cfg_.columnsPerRow(),
+                                   cfg_.rdDataBits),
+        opts_);
+    EXPECT_EQ(once,
+              again.berVsPhysIndex(AibMechanism::RowHammer, true, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, FigureGoldenTest,
+                         ::testing::Values(1u, 4u),
+                         [](const auto &info) {
+                             return "jobs" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace dramscope

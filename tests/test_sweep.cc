@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Sweep engine tests: thread-pool unit tests plus the determinism
+ * contract — parallel (DRAMSCOPE_JOBS=4) results must be bit-identical
+ * to serial (DRAMSCOPE_JOBS=1) for every sweep-routed figure entry
+ * point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/charact.h"
+#include "core/sweep.h"
+#include "test_common.h"
+#include "util/threadpool.h"
+
+namespace dramscope {
+namespace {
+
+using core::CharactOptions;
+using core::Characterization;
+using core::ShardContext;
+using core::SweepOptions;
+using core::SweepRunner;
+using dram::AibMechanism;
+
+// ---------------------------------------------------------------------
+// ThreadPool unit tests.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, FuturesDeliverResultsInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[size_t(i)].get(), i * i);
+}
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    parallelFor(pool, 1000, [&](uint64_t) { ++count; });
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    parallelFor(pool, 0, [&](uint64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    auto fut = pool.submit([] { return 42; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexedException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        parallelFor(pool, 16, [&](uint64_t i) {
+            if (i == 3)
+                throw std::runtime_error("boom-3");
+            if (i == 11)
+                throw std::runtime_error("boom-11");
+            ++completed;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Deterministic: always the lowest failing index, regardless
+        // of which task happened to fail first in wall-clock order.
+        EXPECT_STREQ(e.what(), "boom-3");
+    }
+    // Every non-throwing task still ran (parallelFor joins them all).
+    EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            (void)pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                ++count;
+            });
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, CurrentWorkerIdentifiesPoolThreads)
+{
+    EXPECT_EQ(ThreadPool::currentWorker(), -1);
+    ThreadPool pool(3);
+    std::mutex mu;
+    std::set<int> seen;
+    parallelFor(pool, 64, [&](uint64_t) {
+        const int w = ThreadPool::currentWorker();
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(w);
+    });
+    for (const int w : seen) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 3);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner unit tests.
+// ---------------------------------------------------------------------
+
+TEST(SweepJobs, ExplicitRequestWins)
+{
+    EXPECT_EQ(core::resolveJobs(3), 3u);
+    EXPECT_EQ(core::resolveJobs(1), 1u);
+}
+
+TEST(SweepJobs, EnvironmentKnobParses)
+{
+    ASSERT_EQ(setenv("DRAMSCOPE_JOBS", "5", 1), 0);
+    EXPECT_EQ(core::resolveJobs(), 5u);
+    ASSERT_EQ(setenv("DRAMSCOPE_JOBS", "not-a-number", 1), 0);
+    EXPECT_GE(core::resolveJobs(), 1u);  // Falls back to hardware.
+    ASSERT_EQ(unsetenv("DRAMSCOPE_JOBS"), 0);
+    EXPECT_GE(core::resolveJobs(), 1u);
+}
+
+class SweepRunnerTest : public ::testing::Test
+{
+  protected:
+    SweepRunnerTest()
+        : cfg_(testutil::tinyPlain()), chip_(cfg_), host_(chip_)
+    {
+    }
+
+    dram::DeviceConfig cfg_;
+    dram::Chip chip_;
+    bender::Host host_;
+};
+
+TEST_F(SweepRunnerTest, ResultsArriveInShardOrder)
+{
+    SweepRunner serial(host_, SweepOptions{1, 0x5eedULL});
+    SweepRunner parallel(host_, SweepOptions{4, 0x5eedULL});
+    const auto unit = [](ShardContext &ctx) -> uint32_t {
+        return ctx.shard * 10 + ctx.shardCount;
+    };
+    const auto a = serial.map<uint32_t>(9, unit);
+    const auto b = parallel.map<uint32_t>(9, unit);
+    ASSERT_EQ(a.size(), 9u);
+    for (uint32_t s = 0; s < 9; ++s)
+        EXPECT_EQ(a[s], s * 10 + 9);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(SweepRunnerTest, RngStreamIsSplitByShardIndexNotSchedule)
+{
+    const auto unit = [](ShardContext &ctx) { return ctx.rng.next(); };
+    SweepRunner serial(host_, SweepOptions{1, 1234});
+    SweepRunner parallel(host_, SweepOptions{4, 1234});
+    const auto a = serial.map<uint64_t>(32, unit);
+    // Run the parallel sweep twice: scheduling varies, streams do not.
+    const auto b = parallel.map<uint64_t>(32, unit);
+    const auto c = parallel.map<uint64_t>(32, unit);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+
+    // A different base seed yields different streams.
+    SweepRunner other(host_, SweepOptions{1, 99});
+    EXPECT_NE(a, other.map<uint64_t>(32, unit));
+}
+
+TEST_F(SweepRunnerTest, ZeroShardsIsANoOp)
+{
+    SweepRunner runner(host_, SweepOptions{4, 0});
+    bool ran = false;
+    runner.forEachShard(0, [&](ShardContext &) { ran = true; });
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(runner.map<int>(0, [](ShardContext &) { return 1; })
+                    .empty());
+}
+
+TEST_F(SweepRunnerTest, ReplicasMatchTheLegacyHostDevice)
+{
+    // A self-contained unit (write before read) must observe the same
+    // device on a replica as on the legacy serial host.
+    const auto unit = [](ShardContext &ctx) -> uint64_t {
+        const dram::RowAddr row = 100 + 4 * ctx.shard;
+        ctx.host.writeRowPattern(0, row, 0xDEADBEEFULL);
+        ctx.host.writeRowPattern(0, row + 1, 0);
+        ctx.host.hammer(0, row + 1, 200000, 35.0);
+        return ctx.host.readRowBits(0, row).popcount();
+    };
+    SweepRunner serial(host_, SweepOptions{1, 0});
+    SweepRunner parallel(host_, SweepOptions{4, 0});
+    EXPECT_EQ(serial.map<uint64_t>(12, unit),
+              parallel.map<uint64_t>(12, unit));
+}
+
+// ---------------------------------------------------------------------
+// Serial-vs-parallel equivalence of the figure entry points.
+// ---------------------------------------------------------------------
+
+class SweepEquivalenceTest : public ::testing::Test
+{
+  protected:
+    SweepEquivalenceTest() : cfg_(testutil::tinyPlain())
+    {
+    }
+
+    /** Builds a fresh device + suite with the given job count. */
+    struct Rig
+    {
+        dram::Chip chip;
+        bender::Host host;
+        Characterization charact;
+
+        Rig(const dram::DeviceConfig &cfg, unsigned jobs)
+            : chip(cfg), host(chip),
+              charact(host,
+                      core::PhysMap::fromSwizzle(chip.swizzle(),
+                                                 cfg.columnsPerRow(),
+                                                 cfg.rdDataBits),
+                      makeOpts(jobs))
+        {
+        }
+
+        static CharactOptions
+        makeOpts(unsigned jobs)
+        {
+            CharactOptions opts;
+            opts.victimRows = 16;
+            opts.baseRow = 300;
+            opts.jobs = jobs;
+            return opts;
+        }
+    };
+
+    dram::DeviceConfig cfg_;
+};
+
+TEST_F(SweepEquivalenceTest, RunAttackFlipsAreBitIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    const BitVec victim(cfg_.rowBits, true);
+    const BitVec aggr(cfg_.rowBits, false);
+    const auto a = serial.charact.runAttack(AibMechanism::RowHammer,
+                                            true, true, victim, aggr,
+                                            300000, 35.0);
+    const auto b = parallel.charact.runAttack(AibMechanism::RowHammer,
+                                              true, true, victim, aggr,
+                                              300000, 35.0);
+    EXPECT_EQ(a.flipsPerHostBit, b.flipsPerHostBit);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.cellsPerRow, b.cellsPerRow);
+    EXPECT_EQ(a.physRows, b.physRows);
+}
+
+TEST_F(SweepEquivalenceTest, BerVsPhysIndexVectorsAreIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    for (const bool data_one : {false, true}) {
+        for (const bool upper : {false, true}) {
+            const auto a = serial.charact.berVsPhysIndex(
+                AibMechanism::RowHammer, data_one, upper);
+            const auto b = parallel.charact.berVsPhysIndex(
+                AibMechanism::RowHammer, data_one, upper);
+            EXPECT_EQ(a, b) << "panel data=" << data_one
+                            << " upper=" << upper;
+        }
+    }
+    const auto a = serial.charact.berVsPhysIndex(
+        AibMechanism::RowPress, true, true);
+    const auto b = parallel.charact.berVsPhysIndex(
+        AibMechanism::RowPress, true, true);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(SweepEquivalenceTest, PatternBerValuesAreIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    for (const auto &[vic, aggr] :
+         {std::pair<uint8_t, uint8_t>{0xF, 0x0},
+          std::pair<uint8_t, uint8_t>{0x3, 0xC},
+          std::pair<uint8_t, uint8_t>{0x5, 0xA}}) {
+        EXPECT_EQ(serial.charact.patternBer(vic, aggr),
+                  parallel.charact.patternBer(vic, aggr))
+            << "victim=" << int(vic) << " aggr=" << int(aggr);
+    }
+}
+
+TEST_F(SweepEquivalenceTest, GateTypeBerIsIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    const auto a = serial.charact.gateTypeBer(AibMechanism::RowHammer);
+    const auto b = parallel.charact.gateTypeBer(AibMechanism::RowHammer);
+    EXPECT_EQ(a.dischargedGateA, b.dischargedGateA);
+    EXPECT_EQ(a.dischargedGateB, b.dischargedGateB);
+    EXPECT_EQ(a.chargedGateA, b.chargedGateA);
+    EXPECT_EQ(a.chargedGateB, b.chargedGateB);
+}
+
+TEST_F(SweepEquivalenceTest, EdgeVsTypicalIsIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    const std::vector<dram::RowAddr> edge = {4, 12, 20, 28};
+    const std::vector<dram::RowAddr> typical = {52, 60, 68, 76};
+    const auto a = serial.charact.edgeVsTypical(typical, edge);
+    const auto b = parallel.charact.edgeVsTypical(typical, edge);
+    EXPECT_EQ(a.typicalAggr0Vic1, b.typicalAggr0Vic1);
+    EXPECT_EQ(a.edgeAggr0Vic1, b.edgeAggr0Vic1);
+    EXPECT_EQ(a.typicalAggr1Vic0, b.typicalAggr1Vic0);
+    EXPECT_EQ(a.edgeAggr1Vic0, b.edgeAggr1Vic0);
+}
+
+TEST_F(SweepEquivalenceTest, RelativeBerAndHcntAreIdentical)
+{
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    EXPECT_EQ(serial.charact.relativeBerVictimNeighbors(false, true,
+                                                        true),
+              parallel.charact.relativeBerVictimNeighbors(false, true,
+                                                          true));
+    EXPECT_EQ(serial.charact.relativeBerAggrNeighbors(false, true,
+                                                      false, false),
+              parallel.charact.relativeBerAggrNeighbors(false, true,
+                                                        false, false));
+    EXPECT_EQ(serial.charact.relativeHcnt(false, false, true),
+              parallel.charact.relativeHcnt(false, false, true));
+}
+
+TEST_F(SweepEquivalenceTest, OddJobCountsAndRemapAlsoMatch)
+{
+    // Jobs that do not divide the shard count, plus the Mfr. A row
+    // remap, on the richer tiny config (coupling + remap enabled).
+    dram::DeviceConfig cfg = dram::makeTinyConfig();
+    auto opts = Rig::makeOpts(1);
+    opts.rowRemap = cfg.rowRemap;
+
+    dram::Chip chip1(cfg);
+    bender::Host host1(chip1);
+    Characterization serial(
+        host1,
+        core::PhysMap::fromSwizzle(chip1.swizzle(), cfg.columnsPerRow(),
+                                   cfg.rdDataBits),
+        opts);
+
+    opts.jobs = 3;
+    dram::Chip chip3(cfg);
+    bender::Host host3(chip3);
+    Characterization parallel(
+        host3,
+        core::PhysMap::fromSwizzle(chip3.swizzle(), cfg.columnsPerRow(),
+                                   cfg.rdDataBits),
+        opts);
+
+    EXPECT_EQ(serial.berVsPhysIndex(AibMechanism::RowHammer, true, true),
+              parallel.berVsPhysIndex(AibMechanism::RowHammer, true,
+                                      true));
+    EXPECT_EQ(serial.patternBer(0x3, 0xC), parallel.patternBer(0x3, 0xC));
+}
+
+} // namespace
+} // namespace dramscope
