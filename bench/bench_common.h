@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/sweep.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace dramscope {
@@ -57,6 +58,35 @@ jobsBanner()
     std::printf("sweep jobs: %u (DRAMSCOPE_JOBS; 1 = serial, output "
                 "identical at any value)\n",
                 jobs);
+}
+
+/**
+ * Process-wide metrics registry for bench binaries.  Attach it to
+ * every host a bench creates (observeHost) and print the roll-up once
+ * at the end (printMetricsSummary); parallel sweeps drain per-replica
+ * registries back into it (see core/sweep.h), so the summary is
+ * complete and identical at any DRAMSCOPE_JOBS value.
+ */
+inline obs::MetricsRegistry &
+metricsRegistry()
+{
+    static obs::MetricsRegistry registry;
+    return registry;
+}
+
+/** Attaches the bench-wide metrics registry to @p host. */
+inline void
+observeHost(bender::Host &host)
+{
+    host.setMetrics(&metricsRegistry());
+}
+
+/** Prints the one-line command summary of the bench-wide registry. */
+inline void
+printMetricsSummary()
+{
+    std::printf("%s\n",
+                metricsRegistry().snapshot().commandSummary().c_str());
 }
 
 /** Wall-clock stopwatch for reporting sweep throughput. */

@@ -23,6 +23,7 @@ runDevice(const std::string &preset_id, Table &t)
     const dram::DeviceConfig cfg = dram::makePreset(preset_id);
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
 
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
@@ -73,5 +74,6 @@ main()
     benchutil::maybeWriteCsv(t, "fig10_edge_ber");
     std::printf("\nEdge subarrays use only half their bitlines; the "
                 "dummy half damps the disturbance (O6).\n");
+    benchutil::printMetricsSummary();
     return 0;
 }

@@ -51,6 +51,7 @@ main()
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
     opts.victimRows = benchutil::scaled(96, 16);
@@ -124,5 +125,6 @@ main()
                 "opposite phases (footnote 7 of the paper).\n");
     std::printf("panel sweep wall time: %.2f s at %u jobs\n",
                 timer.seconds(), charact.sweepJobs());
+    benchutil::printMetricsSummary();
     return 0;
 }

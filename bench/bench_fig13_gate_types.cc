@@ -28,6 +28,7 @@ main()
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
     opts.victimRows = benchutil::scaled(96, 16);
@@ -63,5 +64,6 @@ main()
         "for discharged victims).\nO10: each victim cell is "
         "susceptible through exactly one gate type at a time, and the "
         "type flips with the written value.\n");
+    benchutil::printMetricsSummary();
     return 0;
 }

@@ -28,6 +28,7 @@ main()
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
     opts.victimRows = benchutil::scaled(64, 16);
@@ -91,5 +92,6 @@ main()
     std::printf("\nO11: victim-side influence is strongest at distance "
                 "two.\nO12: aggressor-side influence is strongest at "
                 "distance zero and all suppress.\n");
+    benchutil::printMetricsSummary();
     return 0;
 }

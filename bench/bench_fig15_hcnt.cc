@@ -29,6 +29,7 @@ main()
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
     opts.victimRows = benchutil::scaled(24, 8);
@@ -62,5 +63,6 @@ main()
     std::printf("\nO13: the adversarial data pattern lowers the "
                 "first-flip activation count; Vic-2,2 contributes more "
                 "than Vic-1,1, consistent with O11.\n");
+    benchutil::printMetricsSummary();
     return 0;
 }

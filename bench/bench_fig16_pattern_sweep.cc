@@ -30,6 +30,7 @@ main()
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2021");
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
     core::CharactOptions opts;
     opts.rowRemap = cfg.rowRemap;
     opts.victimRows = benchutil::scaled(24, 8);
@@ -88,5 +89,6 @@ main()
                 rel[0x3][0xC]);
     std::printf("16x16 sweep wall time: %.2f s at %u jobs\n",
                 timer.seconds(), charact.sweepJobs());
+    benchutil::printMetricsSummary();
     return 0;
 }

@@ -25,6 +25,7 @@ reverseOne(const std::string &preset_id)
     const dram::DeviceConfig cfg = dram::makePreset(preset_id);
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    benchutil::observeHost(host);
 
     // Boundary for the parity step comes from a quick RowCopy scan.
     core::SubarrayMapper subarrays(host);
@@ -94,5 +95,6 @@ main()
         "Mfr. B");
     reverseOne("A_x4_2016");
     reverseOne("B_x4_2019");
+    benchutil::printMetricsSummary();
     return 0;
 }

@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bender/host.h"
+#include "bender/trace.h"
 #include "core/charact.h"
 #include "core/re_subarray.h"
 #include "dram/chip.h"
+#include "util/metrics.h"
 
 using namespace dramscope;
 
@@ -184,6 +186,50 @@ BENCHMARK(BM_SweepPatternBer)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Observability overhead on the bulk hammer path: /0 runs with the
+ * metrics registry detached (the disabled-check baseline every sweep
+ * benchmark above also pays), /1 with per-command metrics enabled.
+ * The bulk path folds a whole ACT-PRE loop into O(1) metric updates,
+ * so both should be within noise of BM_BulkHammer.
+ */
+void
+BM_BulkHammerMetrics(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    obs::MetricsRegistry metrics;
+    if (state.range(0))
+        host.setMetrics(&metrics);
+    host.writeRowPattern(0, 1000, ~0ULL);
+    for (auto _ : state) {
+        host.hammer(0, 1001, 100000);
+        host.refresh();
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BulkHammerMetrics)->Arg(0)->Arg(1);
+
+/** Per-command cost of the slot path with metrics + ring tracing. */
+void
+BM_SlotPathObserved(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    obs::MetricsRegistry metrics;
+    obs::CommandTracer tracer(4096);
+    if (state.range(0)) {
+        host.setMetrics(&metrics);
+        host.setTrace(&tracer);
+    }
+    host.writeRowPattern(0, 1000, 0xA5A5A5A5ULL);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.readRow(0, 1000));
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().columnsPerRow());
+}
+BENCHMARK(BM_SlotPathObserved)->Arg(0)->Arg(1);
 
 void
 BM_RetentionScan(benchmark::State &state)

@@ -15,6 +15,103 @@ Host::Host(dram::Chip &chip)
 {
 }
 
+void
+Host::setMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (!metrics_) {
+        for (auto *&c : cmd_counters_)
+            c = nullptr;
+        violation_counter_ = nullptr;
+        bank_act_counters_.clear();
+        open_row_hist_ = nullptr;
+        act_gap_hist_ = nullptr;
+        return;
+    }
+    cmd_counters_[size_t(obs::TraceCmd::Act)] = &metrics_->counter("cmd.act");
+    cmd_counters_[size_t(obs::TraceCmd::Pre)] = &metrics_->counter("cmd.pre");
+    cmd_counters_[size_t(obs::TraceCmd::Rd)] = &metrics_->counter("cmd.rd");
+    cmd_counters_[size_t(obs::TraceCmd::Wr)] = &metrics_->counter("cmd.wr");
+    cmd_counters_[size_t(obs::TraceCmd::Ref)] = &metrics_->counter("cmd.ref");
+    violation_counter_ = &metrics_->counter("timing.violations");
+    bank_act_counters_.clear();
+    for (uint32_t b = 0; b < config().numBanks; ++b) {
+        bank_act_counters_.push_back(
+            &metrics_->counter("bank.act." + std::to_string(b)));
+    }
+    // Fixed shapes so per-shard histograms merge; out-of-range samples
+    // clamp to the edge bins.  Covers the paper's attack parameters
+    // (35ns hammer, 7.8us press opens; ~50ns hammer periods).
+    open_row_hist_ = &metrics_->histogram("act.open_ns", 64, 0.0, 8000.0);
+    act_gap_hist_ = &metrics_->histogram("act.gap_ns", 64, 0.0, 1600.0);
+    resetMetricsWindow();
+    violations_seen_ = chip_.violationCount();
+}
+
+void
+Host::resetMetricsWindow()
+{
+    last_act_ns_.assign(config().numBanks, -1.0);
+    open_since_ns_.assign(config().numBanks, -1.0);
+}
+
+void
+Host::observe(obs::TraceCmd cmd, dram::BankId b, dram::RowAddr row,
+              dram::ColAddr col, double ns)
+{
+    if (metrics_) {
+        cmd_counters_[size_t(cmd)]->add();
+        if (cmd == obs::TraceCmd::Act && b < bank_act_counters_.size()) {
+            bank_act_counters_[b]->add();
+            if (last_act_ns_[b] >= 0.0)
+                act_gap_hist_->add(ns - last_act_ns_[b]);
+            last_act_ns_[b] = ns;
+            open_since_ns_[b] = ns;
+        } else if (cmd == obs::TraceCmd::Pre &&
+                   b < open_since_ns_.size() && open_since_ns_[b] >= 0.0) {
+            open_row_hist_->add(ns - open_since_ns_[b]);
+            open_since_ns_[b] = -1.0;
+        }
+    }
+    if (trace_)
+        trace_->onCommand({ns, cmd, b, row, col});
+}
+
+void
+Host::observeBulkHammer(dram::BankId b, dram::RowAddr row, uint64_t count,
+                        double open_ns, double period_ns, double start_ns)
+{
+    if (metrics_) {
+        cmd_counters_[size_t(obs::TraceCmd::Act)]->add(count);
+        cmd_counters_[size_t(obs::TraceCmd::Pre)]->add(count);
+        if (b < bank_act_counters_.size()) {
+            bank_act_counters_[b]->add(count);
+            if (last_act_ns_[b] >= 0.0)
+                act_gap_hist_->add(start_ns - last_act_ns_[b]);
+            if (count > 1)
+                act_gap_hist_->addMany(period_ns, count - 1);
+            open_row_hist_->addMany(open_ns, count);
+            last_act_ns_[b] = start_ns + double(count - 1) * period_ns;
+            open_since_ns_[b] = -1.0;  // The loop ends precharged.
+        }
+    }
+    if (trace_) {
+        for (uint64_t k = 0; k < count; ++k) {
+            const double t = start_ns + double(k) * period_ns;
+            trace_->onCommand({t, obs::TraceCmd::Act, b, row, 0});
+            trace_->onCommand({t + open_ns, obs::TraceCmd::Pre, b, 0, 0});
+        }
+    }
+}
+
+void
+Host::observeViolations()
+{
+    const uint64_t total = chip_.violationCount();
+    violation_counter_->add(total - violations_seen_);
+    violations_seen_ = total;
+}
+
 bool
 Host::matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
                       size_t end, dram::BankId &bank, dram::RowAddr &row,
@@ -64,30 +161,40 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
         const Instr &ins = instrs[i];
         switch (ins.op) {
           case Opcode::Act:
+            if (observing())
+                observe(obs::TraceCmd::Act, ins.bank, ins.row, 0, now_ns_);
             chip_.act(ins.bank, ins.row, now());
             now_ns_ += tck_ns_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Pre:
+            if (observing())
+                observe(obs::TraceCmd::Pre, ins.bank, 0, 0, now_ns_);
             chip_.pre(ins.bank, now());
             now_ns_ += tck_ns_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Rd:
+            if (observing())
+                observe(obs::TraceCmd::Rd, ins.bank, 0, ins.col, now_ns_);
             result.reads.push_back(chip_.read(ins.bank, ins.col, now()));
             now_ns_ += tck_ns_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Wr:
+            if (observing())
+                observe(obs::TraceCmd::Wr, ins.bank, 0, ins.col, now_ns_);
             chip_.write(ins.bank, ins.col, ins.data, now());
             now_ns_ += tck_ns_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Ref:
+            if (observing())
+                observe(obs::TraceCmd::Ref, 0, 0, 0, now_ns_);
             chip_.refresh(now());
             now_ns_ += tck_ns_;
             ++result.commandsIssued;
@@ -125,12 +232,17 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
                 const dram::NanoTime start = now();
                 // The last PRE is issued open_ns into the final
                 // iteration, not at the loop end.
+                const double start_ns = now_ns_;
                 const auto last_pre = dram::NanoTime(
                     now_ns_ + double(count - 1) * period_ns + open_ns);
                 now_ns_ += double(count) * period_ns;
                 chip_.actMany(bank, row, count, open_ns, start,
                               last_pre);
                 result.commandsIssued += 2 * count;
+                if (observing()) {
+                    observeBulkHammer(bank, row, count, open_ns,
+                                      period_ns, start_ns);
+                }
             } else {
                 for (uint64_t k = 0; k < ins.count; ++k)
                     execRange(instrs, i + 1, body_end, result);
@@ -152,6 +264,8 @@ Host::run(const Program &prog)
     result.startNs = now();
     execRange(prog.instrs(), 0, prog.instrs().size(), result);
     result.endNs = now();
+    if (metrics_)
+        observeViolations();
     return result;
 }
 
@@ -245,7 +359,7 @@ Host::writeRowBits(dram::BankId b, dram::RowAddr row, const BitVec &bits)
     writeRow(b, row, cols);
 }
 
-void
+ExecResult
 Host::hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
              double open_ns)
 {
@@ -257,17 +371,17 @@ Host::hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
         .pre(b)
         .sleepNs(t.tRpNs)
         .loopEnd();
-    run(p);
+    return run(p);
 }
 
-void
+ExecResult
 Host::press(dram::BankId b, dram::RowAddr row, uint64_t count,
             double open_ns)
 {
-    hammer(b, row, count, open_ns);
+    return hammer(b, row, count, open_ns);
 }
 
-void
+ExecResult
 Host::rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst)
 {
     const auto &t = config().timing;
@@ -280,16 +394,16 @@ Host::rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst)
         .sleepNs(t.tRasNs)
         .pre(b)
         .sleepNs(t.tRpNs);
-    run(p);
+    return run(p);
 }
 
-void
+ExecResult
 Host::refresh()
 {
     const auto &t = config().timing;
     Program p;
     p.ref().sleepNs(t.tRfcNs);
-    run(p);
+    return run(p);
 }
 
 } // namespace bender

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "bender/program.h"
+#include "bender/trace.h"
 #include "dram/chip.h"
 #include "util/bitvec.h"
+#include "util/metrics.h"
 
 namespace dramscope {
 namespace bender {
@@ -95,24 +97,62 @@ class Host
      * Single-sided RowHammer: @p count ACT-PRE pairs with @p open_ns
      * of open-row time each (paper: 300K x 35ns).
      */
-    void hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
-                double open_ns = 35.0);
+    ExecResult hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
+                      double open_ns = 35.0);
 
     /**
      * RowPress: @p count activations each held open for @p open_ns
      * (paper: 8K x 7.8us).
      */
-    void press(dram::BankId b, dram::RowAddr row, uint64_t count,
-               double open_ns = 7800.0);
+    ExecResult press(dram::BankId b, dram::RowAddr row, uint64_t count,
+                     double open_ns = 7800.0);
 
     /**
      * RowCopy: activates @p src, precharges, then re-activates
      * @p dst inside tRP so the bitlines charge-share into @p dst.
      */
-    void rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst);
+    ExecResult rowCopy(dram::BankId b, dram::RowAddr src,
+                       dram::RowAddr dst);
 
     /** Issues a refresh (and waits tRFC). */
-    void refresh();
+    ExecResult refresh();
+
+    /// @}
+
+    /// @name Observability (see util/metrics.h and bender/trace.h).
+    /// @{
+
+    /**
+     * Attaches (or detaches, with nullptr) a metrics registry.  Every
+     * subsequently issued command updates per-kind and per-bank
+     * counters, open-row-time and ACT-to-ACT interval histograms, and
+     * the timing-violation counter.  The registry is borrowed and
+     * must outlive the attachment.  Counter/histogram handles resolve
+     * once here, so the per-command cost is an increment — and a
+     * single branch when detached.
+     */
+    void setMetrics(obs::MetricsRegistry *metrics);
+
+    /** The attached metrics registry (nullptr when detached). */
+    obs::MetricsRegistry *metrics() const { return metrics_; }
+
+    /**
+     * Attaches (or detaches) a command trace sink receiving one
+     * record per issued command.  Borrowed; must outlive use.
+     */
+    void setTrace(obs::TraceSink *trace) { trace_ = trace; }
+
+    /** The attached trace sink (nullptr when detached). */
+    obs::TraceSink *trace() const { return trace_; }
+
+    /**
+     * Forgets per-bank open-row / last-ACT interval state so the next
+     * ACT starts a fresh observation window.  SweepRunner calls this
+     * at shard boundaries: intervals never span shards, which keeps
+     * parallel merged histograms identical to serial ones regardless
+     * of how shards land on replicas.
+     */
+    void resetMetricsWindow();
 
     /// @}
 
@@ -135,9 +175,47 @@ class Host
                          dram::RowAddr &row, double &open_ns,
                          double &period_ns) const;
 
+    /** True when any observability consumer is attached. */
+    bool observing() const { return metrics_ != nullptr || trace_ != nullptr; }
+
+    /**
+     * Records one issued command (metrics + trace) at issue time
+     * @p ns.  Only called when observing().
+     */
+    void observe(obs::TraceCmd cmd, dram::BankId b, dram::RowAddr row,
+                 dram::ColAddr col, double ns);
+
+    /**
+     * Records the bulk fast path's @p count ACT-PRE pairs without
+     * expanding them per iteration for metrics (tracing, which is
+     * per-record by nature, still emits every pair).
+     */
+    void observeBulkHammer(dram::BankId b, dram::RowAddr row,
+                           uint64_t count, double open_ns,
+                           double period_ns, double start_ns);
+
+    /** Folds new chip timing violations into the violation counter. */
+    void observeViolations();
+
     dram::Chip &chip_;
     double now_ns_ = 1000.0;  //!< Start past 0 to keep gaps positive.
     double tck_ns_;
+
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::TraceSink *trace_ = nullptr;
+
+    /// @name Handles resolved by setMetrics (valid iff metrics_).
+    /// @{
+    obs::Counter *cmd_counters_[5] = {};     //!< Indexed by TraceCmd.
+    obs::Counter *violation_counter_ = nullptr;
+    std::vector<obs::Counter *> bank_act_counters_;
+    Histogram *open_row_hist_ = nullptr;     //!< PRE - ACT per open.
+    Histogram *act_gap_hist_ = nullptr;      //!< Same-bank ACT gaps.
+    /// @}
+
+    std::vector<double> last_act_ns_;   //!< Per bank; < 0 = none yet.
+    std::vector<double> open_since_ns_; //!< Per bank; < 0 = closed.
+    uint64_t violations_seen_ = 0;      //!< Chip count already folded.
 };
 
 } // namespace bender

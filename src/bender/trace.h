@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Command tracing (`dramscope::obs`): every command the Host issues
+ * can be streamed to a TraceSink as a `{ns, cmd, bank, row, col}`
+ * record — the same per-command visibility DRAM Bender and SoftMC
+ * expose on the FPGA platform.
+ *
+ * Two sinks ship with the library:
+ *
+ *  - CommandTracer: a bounded ring buffer keeping the most recent
+ *    records, exportable as JSONL.  Tests also use it to assert on
+ *    exact command streams.
+ *  - JsonlWriter: streams records straight to a file, one JSON object
+ *    per line, with no retention limit (the CLI `--trace=FILE` path).
+ *
+ * Records carry the *issue time* of the command (host clock, ns).
+ * The Host's bulk hammer fast path synthesizes the per-iteration
+ * ACT/PRE records a slot-by-slot execution would have produced, so a
+ * traced loop and its unrolled equivalent emit identical streams.
+ */
+
+#ifndef DRAMSCOPE_BENDER_TRACE_H
+#define DRAMSCOPE_BENDER_TRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dram/types.h"
+
+namespace dramscope {
+namespace obs {
+
+/** Command kinds that appear in a trace. */
+enum class TraceCmd : uint8_t { Act, Pre, Rd, Wr, Ref };
+
+/** Upper-case command mnemonic ("ACT", "PRE", ...). */
+const char *toString(TraceCmd cmd);
+
+/** One traced command. */
+struct TraceRecord
+{
+    double ns = 0.0;          //!< Issue time on the host clock.
+    TraceCmd cmd = TraceCmd::Act;
+    dram::BankId bank = 0;
+    dram::RowAddr row = 0;    //!< 0 for commands without a row.
+    dram::ColAddr col = 0;    //!< 0 for commands without a column.
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Serializes one record as a single JSON line (no trailing \n). */
+std::string toJsonl(const TraceRecord &rec);
+
+/**
+ * Parses a line produced by toJsonl() back into a record.  Returns
+ * false on malformed input (the JSONL round-trip test's negative
+ * cases).
+ */
+bool parseJsonl(const std::string &line, TraceRecord &out);
+
+/** Receiver of traced commands. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per issued command, in issue order. */
+    virtual void onCommand(const TraceRecord &rec) = 0;
+};
+
+/** Ring-buffer tracer: keeps the most recent @p capacity records. */
+class CommandTracer : public TraceSink
+{
+  public:
+    /** @param capacity Records retained; older ones are dropped. */
+    explicit CommandTracer(size_t capacity = size_t(1) << 16);
+
+    void onCommand(const TraceRecord &rec) override;
+
+    /** Records currently retained (<= capacity). */
+    size_t size() const;
+
+    /** Total records ever seen. */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Records evicted by the ring (recorded() - size()). */
+    uint64_t dropped() const { return recorded_ - size(); }
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> records() const;
+
+    /** Forgets every record (capacity unchanged). */
+    void clear();
+
+    /** Writes the retained records as JSONL to @p f. */
+    void writeJsonl(std::FILE *f) const;
+
+    /** Writes the retained records to @p path; false on I/O error. */
+    bool writeJsonl(const std::string &path) const;
+
+  private:
+    std::vector<TraceRecord> ring_;
+    size_t capacity_;
+    size_t head_ = 0;  //!< Next write slot once the ring is full.
+    uint64_t recorded_ = 0;
+};
+
+/** Streaming JSONL sink: one line per command, no retention limit. */
+class JsonlWriter : public TraceSink
+{
+  public:
+    /** Opens @p path for writing; check ok() before use. */
+    explicit JsonlWriter(const std::string &path);
+    ~JsonlWriter() override;
+
+    JsonlWriter(const JsonlWriter &) = delete;
+    JsonlWriter &operator=(const JsonlWriter &) = delete;
+
+    void onCommand(const TraceRecord &rec) override;
+
+    /** True when the file opened successfully. */
+    bool ok() const { return file_ != nullptr; }
+
+    /** Lines written so far. */
+    uint64_t written() const { return written_; }
+
+  private:
+    std::FILE *file_;
+    uint64_t written_ = 0;
+};
+
+} // namespace obs
+} // namespace dramscope
+
+#endif // DRAMSCOPE_BENDER_TRACE_H

@@ -27,11 +27,13 @@ resolveJobs(unsigned requested)
     return hw > 0 ? hw : 1;
 }
 
-/** One worker's private device: a chip copy plus its host. */
+/** One worker's private device: a chip copy plus its host, with a
+ *  local metrics registry the runner drains after every sweep. */
 struct SweepRunner::Replica
 {
     dram::Chip chip;
     bender::Host host;
+    obs::MetricsRegistry metrics;
 
     explicit Replica(const dram::DeviceConfig &cfg)
         : chip(cfg), host(chip)
@@ -53,9 +55,18 @@ SweepRunner::forEachShard(uint32_t shards,
     if (shards == 0)
         return;
 
+    // Metrics attachment is decided per sweep from the legacy host's
+    // current registry.  Interval state resets at every shard boundary
+    // (serial and parallel alike) so observation windows never span
+    // shards: the merged histograms are then independent of how
+    // shards land on workers, and serial == parallel bit for bit.
+    const bool want_metrics = host_.metrics() != nullptr;
+
     if (jobs_ <= 1 || shards == 1) {
         // Legacy serial path: shard order on the caller's host.
         for (uint32_t s = 0; s < shards; ++s) {
+            if (want_metrics)
+                host_.resetMetricsWindow();
             ShardContext ctx{host_, Rng(hashCombine(seed_, s)), s, shards};
             unit(ctx);
         }
@@ -73,10 +84,30 @@ SweepRunner::forEachShard(uint32_t shards,
         auto &replica = replicas_[size_t(ThreadPool::currentWorker())];
         if (!replica)
             replica = std::make_unique<Replica>(cfg);
+        if (want_metrics) {
+            if (!replica->host.metrics())
+                replica->host.setMetrics(&replica->metrics);
+            replica->host.resetMetricsWindow();
+        } else if (replica->host.metrics()) {
+            replica->host.setMetrics(nullptr);
+        }
         ShardContext ctx{replica->host, Rng(hashCombine(seed_, s)),
                          uint32_t(s), shards};
         unit(ctx);
     });
+
+    if (want_metrics) {
+        // Drain replica registries into the caller's, in replica
+        // order.  Counters and histogram buckets are exact integers,
+        // so the aggregate equals the serial run's regardless of
+        // which worker executed which shard.
+        for (auto &replica : replicas_) {
+            if (!replica)
+                continue;
+            host_.metrics()->merge(replica->metrics);
+            replica->metrics.reset();
+        }
+    }
 }
 
 } // namespace core

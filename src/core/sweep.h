@@ -23,6 +23,16 @@
  *
  * and DRAMSCOPE_JOBS=N output is bit-identical to DRAMSCOPE_JOBS=1
  * for the same config and seed (locked down by tests/test_sweep.cc).
+ *
+ * Observability (util/metrics.h): when the legacy host has a metrics
+ * registry attached, each replica records into a private registry
+ * that the runner drains into the caller's after every sweep, in
+ * replica order.  Metric values are exact integer counts and
+ * observation windows reset at shard boundaries, so the merged
+ * snapshot is bit-identical to a serial run's.  Command *tracing*
+ * (bender/trace.h) is not replicated: a trace sink on the legacy
+ * host sees sweep commands only on the serial path (jobs = 1), where
+ * units run directly on that host.
  */
 
 #ifndef DRAMSCOPE_CORE_SWEEP_H

@@ -196,7 +196,7 @@ Bank::commitDisturb(RowAddr row, RowState &rs)
 
             // RowHammer: a charged victim is susceptible through its
             // neighboring gate, a discharged one through its passing
-            // gate; the off gate keeps a small leak (O8-O10).
+            // gate; the off gate keeps a small leak (O8/O9/O10).
             const GateType h_gate = charged ? GateType::Neighboring
                                             : GateType::Passing;
             const double h_gate_f =

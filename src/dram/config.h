@@ -94,7 +94,10 @@ struct DeviceConfig
     uint32_t rowBits = 4096;        //!< Cells per logical row.
     uint32_t rdDataBits = 32;       //!< Bits returned per RD per chip.
 
-    /** Repeating subarray composition (Table III). */
+    /**
+     * Repeating subarray composition (Table III): heterogeneous,
+     * non-power-of-two subarray heights (O4).
+     */
     std::vector<SubarrayPatternEntry> subarrayPattern;
 
     /**

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -33,12 +34,19 @@ class Log
     /** Sets the global log level. */
     static void setLevel(LogLevel lvl) { instance().level_ = lvl; }
 
-    /** Emits a message if @p lvl is enabled. */
+    /**
+     * Emits a message if @p lvl is enabled.  Thread-safe: the line is
+     * built in full and written under a lock, so concurrent emitters
+     * (e.g. sweep workers) never interleave within a line.
+     */
     static void
     emit(LogLevel lvl, const std::string &msg)
     {
         if (static_cast<int>(lvl) <= static_cast<int>(level())) {
-            std::fprintf(stderr, "%s%s\n", prefix(lvl), msg.c_str());
+            const std::string line =
+                std::string(prefix(lvl)) + msg + "\n";
+            std::lock_guard<std::mutex> lock(instance().emit_mu_);
+            std::fwrite(line.data(), 1, line.size(), stderr);
         }
     }
 
@@ -63,6 +71,7 @@ class Log
     }
 
     LogLevel level_ = LogLevel::Warn;
+    std::mutex emit_mu_;
 };
 
 /** Emits a warning message (condition may still work well enough). */
@@ -100,7 +109,7 @@ fatal(const std::string &msg)
     std::exit(1);
 }
 
-/** panic() unless @p cond holds. */
+/** panic()s when @p cond holds (i.e. @p cond asserts the *bug*). */
 inline void
 panicIf(bool cond, const std::string &msg)
 {
@@ -108,7 +117,7 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
-/** fatal() unless @p cond holds. */
+/** fatal()s when @p cond holds (i.e. @p cond asserts the *error*). */
 inline void
 fatalIf(bool cond, const std::string &msg)
 {

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The observability metrics layer (`dramscope::obs`): named monotonic
+ * counters and fixed-shape histograms behind a registry with
+ * deterministic snapshot/merge semantics.
+ *
+ * Design constraints (see docs/OBSERVATIONS.md and core/sweep.h):
+ *
+ *  - **Near-zero cost when disabled.**  Producers (bender::Host) hold
+ *    a nullable registry pointer and resolve Counter/Histogram
+ *    handles once, so the hot path is one branch plus an increment —
+ *    or just the branch when observability is off.
+ *  - **Deterministic merge.**  All values are exact integer counts
+ *    (histogram samples are bucketed at add() time), so merging
+ *    per-shard registries is commutative and associative: a parallel
+ *    sweep's aggregate equals the serial run's bit for bit, in any
+ *    merge order.  SweepRunner still merges in replica order for
+ *    reproducible intermediate states.
+ *  - **Stable handles.**  counter()/histogram() return references
+ *    that stay valid for the registry's lifetime (values live behind
+ *    unique_ptr), so reset() zeroes in place without invalidating
+ *    producers.
+ */
+
+#ifndef DRAMSCOPE_UTIL_METRICS_H
+#define DRAMSCOPE_UTIL_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dramscope {
+namespace obs {
+
+/** A named monotonic counter (value only ever grows). */
+struct Counter
+{
+    uint64_t value = 0;
+
+    /** Adds @p n to the counter. */
+    void add(uint64_t n = 1) { value += n; }
+};
+
+/** Plain-data copy of one histogram (shape + bucket counts). */
+struct HistogramSnapshot
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+
+    bool operator==(const HistogramSnapshot &) const = default;
+};
+
+/**
+ * Plain-data copy of a whole registry at one instant.  Snapshots
+ * compare with operator== (the serial-vs-parallel equality the sweep
+ * tests assert) and merge by exact integer addition.
+ */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool operator==(const MetricsSnapshot &) const = default;
+
+    /** Adds @p other into this snapshot (shape-checked histograms). */
+    void merge(const MetricsSnapshot &other);
+
+    /** Value of counter @p name, 0 when absent. */
+    uint64_t counterOr0(const std::string &name) const;
+
+    /**
+     * One-line command summary for bench output, e.g.
+     * "metrics: ACT=640 PRE=640 RD=128 WR=256 REF=0 violations=0".
+     */
+    std::string commandSummary() const;
+};
+
+/** Registry of named counters and histograms. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Finds or creates the counter @p name (stable reference). */
+    Counter &counter(const std::string &name);
+
+    /**
+     * Finds or creates the histogram @p name (stable reference).
+     * The shape arguments apply on creation; a later lookup with a
+     * different shape is a caller bug (fatal).
+     */
+    Histogram &histogram(const std::string &name, size_t bins, double lo,
+                         double hi);
+
+    /** Deep copy of every metric's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Adds every metric of @p other into this registry, creating
+     * names this registry has not seen.  Exact integer sums: merge
+     * order never changes the result.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Zeroes every value in place; handles stay valid. */
+    void reset();
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace dramscope
+
+#endif // DRAMSCOPE_UTIL_METRICS_H

@@ -122,6 +122,43 @@ class Histogram
         ++total_;
     }
 
+    /** Adds @p n samples of the same value (bulk fast path). */
+    void
+    addMany(double x, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        const double t = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<int64_t>(t * double(counts_.size()));
+        idx = std::clamp<int64_t>(idx, 0, int64_t(counts_.size()) - 1);
+        counts_[size_t(idx)] += n;
+        total_ += n;
+    }
+
+    /**
+     * Adds another histogram's buckets into this one.  Both must have
+     * the same shape (bin count and range); counts are exact integers
+     * so merging is commutative and order-independent.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        fatalIf(other.counts_.size() != counts_.size() ||
+                    other.lo_ != lo_ || other.hi_ != hi_,
+                "Histogram::merge: shape mismatch");
+        for (size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        total_ += other.total_;
+    }
+
+    /** Zeroes every bucket, keeping the shape. */
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+    }
+
     /** Bucket count. */
     size_t bins() const { return counts_.size(); }
 
@@ -130,6 +167,12 @@ class Histogram
 
     /** Total samples. */
     uint64_t total() const { return total_; }
+
+    /** Lower bound of the sample range. */
+    double lo() const { return lo_; }
+
+    /** Upper bound of the sample range. */
+    double hi() const { return hi_; }
 
     /** Center value of bucket @p i. */
     double

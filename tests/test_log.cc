@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Log level filtering, panic/fatal semantics, and thread-safety of
+ * Log::emit (the multithreaded case is what the thread-sanitizer CI
+ * job exercises: sweep workers warn concurrently).
+ */
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace {
+
+/** RAII guard restoring the process-wide log level. */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(LogLevel lvl) : saved_(Log::level())
+    {
+        Log::setLevel(lvl);
+    }
+    ~LevelGuard() { Log::setLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+std::string
+captureEmit(LogLevel emit_lvl, const std::string &msg)
+{
+    testing::internal::CaptureStderr();
+    Log::emit(emit_lvl, msg);
+    return testing::internal::GetCapturedStderr();
+}
+
+TEST(LogTest, MessagesAtOrBelowTheLevelAreEmitted)
+{
+    LevelGuard guard(LogLevel::Info);
+    EXPECT_EQ(captureEmit(LogLevel::Error, "boom"), "error: boom\n");
+    EXPECT_EQ(captureEmit(LogLevel::Warn, "hm"), "warn: hm\n");
+    EXPECT_EQ(captureEmit(LogLevel::Info, "fyi"), "info: fyi\n");
+}
+
+TEST(LogTest, MessagesAboveTheLevelAreDropped)
+{
+    LevelGuard guard(LogLevel::Warn);
+    EXPECT_EQ(captureEmit(LogLevel::Info, "fyi"), "");
+    EXPECT_EQ(captureEmit(LogLevel::Debug, "noise"), "");
+}
+
+TEST(LogTest, SilentDropsEverything)
+{
+    LevelGuard guard(LogLevel::Silent);
+    EXPECT_EQ(captureEmit(LogLevel::Error, "boom"), "");
+}
+
+TEST(LogTest, HelpersUseTheirLevel)
+{
+    LevelGuard guard(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    warn("w");
+    inform("i");
+    debugLog("d");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "warn: w\ninfo: i\ndebug: d\n");
+}
+
+TEST(LogDeathTest, PanicIfFiresWhenTheConditionHolds)
+{
+    panicIf(false, "must not fire");
+    EXPECT_DEATH(panicIf(true, "invariant broken"), "invariant broken");
+}
+
+TEST(LogDeathTest, FatalIfExitsWhenTheConditionHolds)
+{
+    fatalIf(false, "must not fire");
+    EXPECT_EXIT(fatalIf(true, "bad config"),
+                testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LogTest, ConcurrentEmittersNeverInterleaveWithinALine)
+{
+    LevelGuard guard(LogLevel::Warn);
+    constexpr int kThreads = 4;
+    constexpr int kLines = 200;
+
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            const std::string msg =
+                "thread-" + std::string(1, char('A' + t)) + "-line";
+            for (int i = 0; i < kLines; ++i)
+                warn(msg);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const std::string out = testing::internal::GetCapturedStderr();
+
+    // Every line must be a complete, untruncated emission.
+    std::istringstream in(out);
+    std::string line;
+    int count = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.substr(0, 6), "warn: ") << line;
+        EXPECT_EQ(line.size(), std::string("warn: thread-A-line").size())
+            << line;
+        ++count;
+    }
+    EXPECT_EQ(count, kThreads * kLines);
+}
+
+} // namespace
+} // namespace dramscope

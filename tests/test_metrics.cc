@@ -1,0 +1,161 @@
+/**
+ * @file
+ * MetricsRegistry semantics: counter monotonicity, histogram
+ * bucketing, snapshot equality, and the exact-integer merge the
+ * parallel sweep engine's determinism contract rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace dramscope {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(MetricsCounter, FindOrCreateReturnsTheSameHandle)
+{
+    MetricsRegistry reg;
+    obs::Counter &a = reg.counter("cmd.act");
+    obs::Counter &b = reg.counter("cmd.act");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    b.add(4);
+    EXPECT_EQ(reg.snapshot().counterOr0("cmd.act"), 5u);
+}
+
+TEST(MetricsCounter, DistinctNamesAreIndependent)
+{
+    MetricsRegistry reg;
+    reg.counter("x").add(3);
+    reg.counter("y").add(7);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counterOr0("x"), 3u);
+    EXPECT_EQ(snap.counterOr0("y"), 7u);
+    EXPECT_EQ(snap.counterOr0("absent"), 0u);
+}
+
+TEST(MetricsHistogram, SamplesLandInTheRightBucket)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("h", 10, 0.0, 100.0);
+    h.add(5.0);    // bucket 0
+    h.add(15.0);   // bucket 1
+    h.add(95.0);   // bucket 9
+    h.add(-3.0);   // clamps to bucket 0
+    h.add(250.0);  // clamps to bucket 9
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(MetricsHistogram, AddManyMatchesRepeatedAdd)
+{
+    MetricsRegistry reg;
+    Histogram &bulk = reg.histogram("bulk", 16, 0.0, 64.0);
+    Histogram &slow = reg.histogram("slow", 16, 0.0, 64.0);
+    bulk.addMany(35.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        slow.add(35.0);
+    for (size_t i = 0; i < bulk.bins(); ++i)
+        EXPECT_EQ(bulk.count(i), slow.count(i)) << "bin " << i;
+    EXPECT_EQ(bulk.total(), slow.total());
+}
+
+TEST(MetricsHistogram, LookupWithSameShapeReturnsSameHandle)
+{
+    MetricsRegistry reg;
+    Histogram &a = reg.histogram("h", 8, 0.0, 10.0);
+    Histogram &b = reg.histogram("h", 8, 0.0, 10.0);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsSnapshotTest, EqualityComparesValuesAndShapes)
+{
+    MetricsRegistry a, b;
+    a.counter("c").add(2);
+    b.counter("c").add(2);
+    a.histogram("h", 4, 0.0, 4.0).add(1.5);
+    b.histogram("h", 4, 0.0, 4.0).add(1.5);
+    EXPECT_EQ(a.snapshot(), b.snapshot());
+
+    b.counter("c").add();
+    EXPECT_NE(a.snapshot(), b.snapshot());
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndBuckets)
+{
+    MetricsRegistry a, b;
+    a.counter("c").add(2);
+    b.counter("c").add(5);
+    b.counter("only-b").add(1);
+    a.histogram("h", 4, 0.0, 4.0).add(0.5);
+    b.histogram("h", 4, 0.0, 4.0).add(0.5);
+    b.histogram("h", 4, 0.0, 4.0).add(3.5);
+
+    auto merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counterOr0("c"), 7u);
+    EXPECT_EQ(merged.counterOr0("only-b"), 1u);
+    EXPECT_EQ(merged.histograms.at("h").counts[0], 2u);
+    EXPECT_EQ(merged.histograms.at("h").counts[3], 1u);
+    EXPECT_EQ(merged.histograms.at("h").total, 3u);
+}
+
+TEST(MetricsRegistryTest, MergeIsOrderIndependent)
+{
+    // The property SweepRunner's replica drain relies on: integer
+    // sums commute, so worker scheduling cannot change the aggregate.
+    MetricsRegistry parts[3];
+    parts[0].counter("n").add(1);
+    parts[1].counter("n").add(10);
+    parts[2].counter("n").add(100);
+    parts[0].histogram("h", 4, 0.0, 4.0).add(0.0);
+    parts[2].histogram("h", 4, 0.0, 4.0).add(3.0);
+
+    MetricsRegistry forward, backward;
+    for (int i = 0; i < 3; ++i)
+        forward.merge(parts[i]);
+    for (int i = 2; i >= 0; --i)
+        backward.merge(parts[i]);
+    EXPECT_EQ(forward.snapshot(), backward.snapshot());
+    EXPECT_EQ(forward.snapshot().counterOr0("n"), 111u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceKeepingHandlesValid)
+{
+    MetricsRegistry reg;
+    obs::Counter &c = reg.counter("c");
+    Histogram &h = reg.histogram("h", 4, 0.0, 4.0);
+    c.add(9);
+    h.add(1.0);
+    reg.reset();
+    EXPECT_EQ(c.value, 0u);
+    EXPECT_EQ(h.total(), 0u);
+
+    // Handles resolved before the reset still feed the registry.
+    c.add(2);
+    h.add(2.0);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counterOr0("c"), 2u);
+    EXPECT_EQ(snap.histograms.at("h").total, 1u);
+}
+
+TEST(MetricsSnapshotTest, CommandSummaryNamesTheWellKnownCounters)
+{
+    MetricsRegistry reg;
+    reg.counter("cmd.act").add(12);
+    reg.counter("cmd.pre").add(12);
+    reg.counter("cmd.rd").add(3);
+    const std::string line = reg.snapshot().commandSummary();
+    EXPECT_NE(line.find("ACT=12"), std::string::npos) << line;
+    EXPECT_NE(line.find("PRE=12"), std::string::npos) << line;
+    EXPECT_NE(line.find("RD=3"), std::string::npos) << line;
+    EXPECT_NE(line.find("violations=0"), std::string::npos) << line;
+}
+
+} // namespace
+} // namespace dramscope

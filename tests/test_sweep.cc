@@ -17,6 +17,7 @@
 #include "core/charact.h"
 #include "core/sweep.h"
 #include "test_common.h"
+#include "util/metrics.h"
 #include "util/threadpool.h"
 
 namespace dramscope {
@@ -224,6 +225,54 @@ TEST_F(SweepRunnerTest, ReplicasMatchTheLegacyHostDevice)
               parallel.map<uint64_t>(12, unit));
 }
 
+TEST_F(SweepRunnerTest, ParallelMetricsMergeMatchesSerial)
+{
+    // Commands issued per shard are program-determined, and every
+    // histogram sample is a time delta within one shard (windows
+    // reset at shard boundaries), so the merged parallel registry
+    // must equal the serial one bit for bit.
+    const auto unit = [](ShardContext &ctx) {
+        const dram::RowAddr row = 100 + 4 * ctx.shard;
+        ctx.host.writeRowPattern(0, row, ~0ULL);
+        ctx.host.hammer(0, row + 1, 50 + ctx.shard, 35.0);
+        (void)ctx.host.readRow(0, row);
+    };
+
+    obs::MetricsRegistry serial_metrics;
+    host_.setMetrics(&serial_metrics);
+    SweepRunner serial(host_, SweepOptions{1, 0});
+    serial.forEachShard(10, unit);
+
+    obs::MetricsRegistry parallel_metrics;
+    host_.setMetrics(&parallel_metrics);
+    SweepRunner parallel(host_, SweepOptions{4, 0});
+    parallel.forEachShard(10, unit);
+    host_.setMetrics(nullptr);
+
+    EXPECT_EQ(serial_metrics.snapshot(), parallel_metrics.snapshot());
+    // Spot-check the aggregate: per shard s, 1 ACT (setup write) +
+    // (50+s) hammer ACTs + 1 ACT (read-back) = 20 + 545 over 10 shards.
+    EXPECT_EQ(serial_metrics.snapshot().counterOr0("cmd.act"), 565u);
+}
+
+TEST_F(SweepRunnerTest, ReplicaRegistriesDrainOncePerSweep)
+{
+    // Replica registries are reset after each drain; a second sweep on
+    // the same runner must add exactly one more run's worth of counts.
+    const auto unit = [](ShardContext &ctx) {
+        ctx.host.hammer(0, 50, 100, 35.0);
+    };
+    obs::MetricsRegistry metrics;
+    host_.setMetrics(&metrics);
+    SweepRunner runner(host_, SweepOptions{4, 0});
+    runner.forEachShard(8, unit);
+    const uint64_t once = metrics.snapshot().counterOr0("cmd.act");
+    EXPECT_EQ(once, 800u);
+    runner.forEachShard(8, unit);
+    host_.setMetrics(nullptr);
+    EXPECT_EQ(metrics.snapshot().counterOr0("cmd.act"), 2 * once);
+}
+
 // ---------------------------------------------------------------------
 // Serial-vs-parallel equivalence of the figure entry points.
 // ---------------------------------------------------------------------
@@ -353,6 +402,43 @@ TEST_F(SweepEquivalenceTest, RelativeBerAndHcntAreIdentical)
                                                         false, false));
     EXPECT_EQ(serial.charact.relativeHcnt(false, false, true),
               parallel.charact.relativeHcnt(false, false, true));
+}
+
+TEST_F(SweepEquivalenceTest, MergedMetricsAreIdenticalAcrossAllEntryPoints)
+{
+    // The acceptance contract of the observability layer: with a
+    // metrics registry attached, a DRAMSCOPE_JOBS=1 run and a
+    // DRAMSCOPE_JOBS=4 run of every sweep-routed figure entry point
+    // produce identical merged snapshots.
+    Rig serial(cfg_, 1), parallel(cfg_, 4);
+    obs::MetricsRegistry serial_metrics, parallel_metrics;
+    serial.host.setMetrics(&serial_metrics);
+    parallel.host.setMetrics(&parallel_metrics);
+
+    const auto exercise = [this](Characterization &charact) {
+        const BitVec victim(cfg_.rowBits, true);
+        const BitVec aggr(cfg_.rowBits, false);
+        (void)charact.runAttack(AibMechanism::RowHammer, true, true,
+                                victim, aggr, 50000, 35.0);
+        (void)charact.berVsPhysIndex(AibMechanism::RowHammer, true, true);
+        (void)charact.berVsPhysIndex(AibMechanism::RowPress, false, true);
+        (void)charact.gateTypeBer(AibMechanism::RowHammer);
+        (void)charact.edgeVsTypical({52, 60}, {4, 12});
+        (void)charact.relativeBerVictimNeighbors(false, true, true);
+        (void)charact.relativeBerAggrNeighbors(false, true, false, false);
+        (void)charact.relativeHcnt(false, false, true);
+        (void)charact.patternBer(0x3, 0xC);
+    };
+    exercise(serial.charact);
+    exercise(parallel.charact);
+
+    const auto a = serial_metrics.snapshot();
+    const auto b = parallel_metrics.snapshot();
+    EXPECT_EQ(a, b);
+    // The snapshots actually saw the workload.
+    EXPECT_GT(a.counterOr0("cmd.act"), 0u);
+    EXPECT_GT(a.counterOr0("bank.act.0"), 0u);
+    EXPECT_GT(a.histograms.at("act.open_ns").total, 0u);
 }
 
 TEST_F(SweepEquivalenceTest, OddJobCountsAndRemapAlsoMatch)

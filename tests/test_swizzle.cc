@@ -33,7 +33,8 @@ TEST(Swizzle, BijectiveOverTheRow)
 
 TEST(Swizzle, RdDataSpreadsAcrossAllMats)
 {
-    // O1: one RD collects groupBits() cells from every MAT.
+    // O1: one RD collects groupBits() cells from every MAT, with each
+    // MAT spanning matWidth bitlines (O2).
     const dram::DeviceConfig cfg = dram::makePreset("A_x4_2016");
     const dram::Swizzle swz(cfg);
     std::vector<int> per_mat(cfg.matsPerRow(), 0);

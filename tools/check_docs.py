@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (CI `docs` job).
+
+Two checks:
+
+1. Relative markdown links in README.md, EXPERIMENTS.md, DESIGN.md and
+   docs/*.md must point at files that exist.
+2. Every row of the observation table in docs/OBSERVATIONS.md must
+   cite a model-source file and a test file that contain a literal
+   ``O<n>`` tag comment, the cited bench file must exist, and the
+   table must cover all of O1..O14.
+
+Exits non-zero with one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_CHECKED = ["README.md", "EXPERIMENTS.md", "DESIGN.md"]
+OBSERVATIONS = "docs/OBSERVATIONS.md"
+ALL_TAGS = [f"O{n}" for n in range(1, 15)]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ROW_RE = re.compile(r"^\|\s*(O\d+)\s*\|")
+PATH_RE = re.compile(r"`([^`]+)`")
+
+
+def check_links(md_path: Path, errors: list) -> None:
+    text = md_path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (md_path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path.relative_to(REPO)}: broken link "
+                          f"-> {target}")
+
+
+def check_observations(errors: list) -> None:
+    obs_path = REPO / OBSERVATIONS
+    if not obs_path.exists():
+        errors.append(f"{OBSERVATIONS}: missing")
+        return
+
+    seen = {}
+    for line in obs_path.read_text(encoding="utf-8").splitlines():
+        m = ROW_RE.match(line)
+        if not m:
+            continue
+        tag = m.group(1)
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) < 5:
+            errors.append(f"{OBSERVATIONS}: {tag}: row has "
+                          f"{len(cells)} cells, expected 5")
+            continue
+        paths = []
+        for cell in cells[2:5]:
+            cited = PATH_RE.findall(cell)
+            if len(cited) != 1:
+                errors.append(f"{OBSERVATIONS}: {tag}: expected one "
+                              f"backticked path per cell, got: {cell}")
+                paths.append(None)
+            else:
+                paths.append(cited[0])
+        seen[tag] = paths
+
+    for tag in ALL_TAGS:
+        if tag not in seen:
+            errors.append(f"{OBSERVATIONS}: no table row for {tag}")
+
+    tag_re_cache = {}
+    for tag, paths in sorted(seen.items()):
+        source, test, bench = paths
+        # Source and test must carry the literal tag; the bench is
+        # only required to exist (figure benches cover tag ranges).
+        for role, rel in (("source", source), ("test", test)):
+            if rel is None:
+                continue
+            path = REPO / rel
+            if not path.exists():
+                errors.append(f"{OBSERVATIONS}: {tag}: {role} file "
+                              f"missing: {rel}")
+                continue
+            pattern = tag_re_cache.setdefault(
+                tag, re.compile(rf"\b{tag}\b"))
+            if not pattern.search(path.read_text(encoding="utf-8")):
+                errors.append(f"{OBSERVATIONS}: {tag}: {role} file "
+                              f"{rel} has no literal {tag} tag")
+        if bench is not None and not (REPO / bench).exists():
+            errors.append(f"{OBSERVATIONS}: {tag}: bench file "
+                          f"missing: {bench}")
+
+
+def main() -> int:
+    errors = []
+    for name in LINK_CHECKED:
+        path = REPO / name
+        if path.exists():
+            check_links(path, errors)
+        else:
+            errors.append(f"{name}: missing")
+    for path in sorted((REPO / "docs").glob("*.md")):
+        check_links(path, errors)
+    check_observations(errors)
+
+    if errors:
+        for err in errors:
+            print(f"check_docs: {err}", file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: all links resolve, O1..O14 all mapped and "
+          "tagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,19 +10,28 @@
  *   rowcopy <preset> <src> <dst> RowCopy probe with classification
  *   retention <preset>           retention survival curve
  *   report  <preset>             full reverse-engineering pipeline
+ *   stats   <preset> [row] [n]   command metrics of a hammer workload
+ *
+ * `hammer`, `press` and `rowcopy` accept a trailing `--trace=FILE`
+ * flag that streams every issued command as one JSONL record
+ * ({ns, cmd, bank, row, col}) to FILE.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bender/host.h"
+#include "bender/trace.h"
 #include "core/re_adjacency.h"
 #include "core/re_coupled.h"
 #include "core/re_polarity.h"
 #include "core/re_retention.h"
 #include "core/re_subarray.h"
 #include "dram/chip.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 using namespace dramscope;
@@ -41,8 +50,32 @@ usage()
         "  press <preset> <row> <n>      RowPress attack report\n"
         "  rowcopy <preset> <src> <dst>  RowCopy probe\n"
         "  retention <preset>            retention survival curve\n"
-        "  report <preset>               reverse-engineering pipeline\n");
+        "  report <preset>               reverse-engineering pipeline\n"
+        "  stats <preset> [row] [n]      command metrics of a hammer "
+        "workload\n"
+        "hammer/press/rowcopy accept --trace=FILE (JSONL command "
+        "trace)\n");
     return 2;
+}
+
+/**
+ * Opens a JSONL trace sink and attaches it to @p host when
+ * @p trace_path is non-empty.  Returns nullptr (and leaves the host
+ * untraced) when tracing is off; exits on an unopenable path.
+ */
+std::unique_ptr<obs::JsonlWriter>
+maybeAttachTrace(bender::Host &host, const std::string &trace_path)
+{
+    if (trace_path.empty())
+        return nullptr;
+    auto writer = std::make_unique<obs::JsonlWriter>(trace_path);
+    if (!writer->ok()) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n",
+                     trace_path.c_str());
+        std::exit(1);
+    }
+    host.setTrace(writer.get());
+    return writer;
 }
 
 int
@@ -99,11 +132,12 @@ cmdInspect(const std::string &preset)
 
 int
 cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
-          bool press)
+          bool press, const std::string &trace_path)
 {
     const auto cfg = dram::makePreset(preset);
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    const auto trace = maybeAttachTrace(host, trace_path);
 
     // Probe a wide window: internal remapping can place the physical
     // neighbours several logical rows away (common pitfall 2).
@@ -133,16 +167,22 @@ cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
                 "all-ones)\n",
                 press ? "RowPress" : "RowHammer",
                 (unsigned long long)count);
+    if (trace) {
+        std::printf("trace: %llu commands -> %s\n",
+                    (unsigned long long)trace->written(),
+                    trace_path.c_str());
+    }
     return 0;
 }
 
 int
 cmdRowCopy(const std::string &preset, dram::RowAddr src,
-           dram::RowAddr dst)
+           dram::RowAddr dst, const std::string &trace_path)
 {
     const auto cfg = dram::makePreset(preset);
     dram::Chip chip(cfg);
     bender::Host host(chip);
+    const auto trace = maybeAttachTrace(host, trace_path);
     core::SubarrayMapper mapper(host);
     bool inverted = false;
     const auto outcome = mapper.probeCopy(src, dst, &inverted);
@@ -153,7 +193,57 @@ cmdRowCopy(const std::string &preset, dram::RowAddr src,
                 outcome != core::CopyOutcome::None
                     ? (inverted ? " (data inverted)" : " (data as-is)")
                     : "");
+    if (trace) {
+        std::printf("trace: %llu commands -> %s\n",
+                    (unsigned long long)trace->written(),
+                    trace_path.c_str());
+    }
     return 0;
+}
+
+int
+cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count)
+{
+    const auto cfg = dram::makePreset(preset);
+    dram::Chip chip(cfg);
+    bender::Host host(chip);
+    obs::MetricsRegistry metrics;
+    host.setMetrics(&metrics);
+
+    // A representative workload: prepare a victim/aggressor pair,
+    // hammer, read the victim back.
+    host.writeRowPattern(0, aggr + 1, ~0ULL);
+    host.writeRowPattern(0, aggr, 0);
+    const auto before = metrics.snapshot();
+    const auto res = host.hammer(0, aggr, count);
+    const auto after = metrics.snapshot();
+    host.readRow(0, aggr + 1);
+
+    const auto snap = metrics.snapshot();
+    Table t({"Metric", "Value"});
+    for (const auto &[name, value] : snap.counters)
+        t.addRow({name, Table::num(value)});
+    for (const auto &[name, hist] : snap.histograms) {
+        t.addRow({name + " (samples)", Table::num(hist.total)});
+    }
+    t.print();
+
+    // The counter deltas across the hammer must equal the commands
+    // the executor reports — the cross-check the trace/metrics layer
+    // is built to make possible.
+    uint64_t delta = 0;
+    for (const auto *key :
+         {"cmd.act", "cmd.pre", "cmd.rd", "cmd.wr", "cmd.ref"}) {
+        delta += after.counterOr0(key) - before.counterOr0(key);
+    }
+    std::printf("%s\n", snap.commandSummary().c_str());
+    std::printf("hammer ACT delta %llu, commandsIssued %llu: %s\n",
+                (unsigned long long)(after.counterOr0("cmd.act") -
+                                     before.counterOr0("cmd.act")),
+                (unsigned long long)res.commandsIssued,
+                delta == res.commandsIssued ? "consistent"
+                                            : "MISMATCH");
+    return delta == res.commandsIssued ? 0 : 1;
 }
 
 int
@@ -228,29 +318,50 @@ cmdReport(const std::string &preset)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    // Split flags (--trace=FILE) from positional arguments.
+    std::vector<std::string> args;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0)
+            trace_path = arg.substr(8);
+        else
+            args.push_back(arg);
+    }
+
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
+    const std::string &cmd = args[0];
     if (cmd == "list")
         return cmdList();
-    if (argc >= 3) {
-        const std::string preset = argv[2];
+    if (args.size() >= 2) {
+        const std::string &preset = args[1];
         if (cmd == "inspect")
             return cmdInspect(preset);
         if (cmd == "retention")
             return cmdRetention(preset);
         if (cmd == "report")
             return cmdReport(preset);
-        if ((cmd == "hammer" || cmd == "press") && argc == 5) {
-            return cmdAttack(preset,
-                             dram::RowAddr(std::atoll(argv[3])),
-                             uint64_t(std::atoll(argv[4])),
-                             cmd == "press");
+        if (cmd == "stats") {
+            const auto row = args.size() > 2
+                                 ? dram::RowAddr(std::atoll(args[2].c_str()))
+                                 : dram::RowAddr(1000);
+            const auto n = args.size() > 3
+                               ? uint64_t(std::atoll(args[3].c_str()))
+                               : uint64_t(10000);
+            return cmdStats(preset, row, n);
         }
-        if (cmd == "rowcopy" && argc == 5) {
+        if ((cmd == "hammer" || cmd == "press") && args.size() == 4) {
+            return cmdAttack(preset,
+                             dram::RowAddr(std::atoll(args[2].c_str())),
+                             uint64_t(std::atoll(args[3].c_str())),
+                             cmd == "press", trace_path);
+        }
+        if (cmd == "rowcopy" && args.size() == 4) {
             return cmdRowCopy(preset,
-                              dram::RowAddr(std::atoll(argv[3])),
-                              dram::RowAddr(std::atoll(argv[4])));
+                              dram::RowAddr(std::atoll(args[2].c_str())),
+                              dram::RowAddr(std::atoll(args[3].c_str())),
+                              trace_path);
         }
     }
     return usage();
