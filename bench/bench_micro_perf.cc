@@ -67,6 +67,53 @@ BM_BulkHammer(benchmark::State &state)
 }
 BENCHMARK(BM_BulkHammer)->Arg(10000)->Arg(300000);
 
+/**
+ * Device-interface guard for the bulk fast path: the hammer loop via
+ * a devirtualizable dram::Chip call against the same loop through a
+ * dram::Device reference (what bender::Host actually holds).  actMany
+ * folds the whole ACT-PRE train into ONE virtual call, so /interface
+ * must stay within noise of /direct — a regression here means a
+ * per-iteration virtual call crept back onto the fast path.
+ */
+void
+BM_BulkHammerDevirt(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1000, ~0ULL);
+    const uint64_t count = 100000;
+    const double open_ns = 33.75;
+    const double period_ns = 50.0;
+    if (state.range(0) == 0) {
+        // Direct call on the concrete type (static dispatch).
+        for (auto _ : state) {
+            const auto start = host.now();
+            const auto last_pre = dram::NanoTime(
+                start + dram::NanoTime((double(count - 1) * period_ns +
+                                        open_ns)));
+            chip.actMany(0, 1001, count, open_ns, start, last_pre);
+            chip.refresh(host.now());
+        }
+    } else {
+        // Same loop through the abstract interface.  DoNotOptimize on
+        // the pointer keeps the compiler from proving the dynamic
+        // type and devirtualizing the call.
+        dram::Device *dev = &chip;
+        benchmark::DoNotOptimize(dev);
+        for (auto _ : state) {
+            const auto start = host.now();
+            const auto last_pre = dram::NanoTime(
+                start + dram::NanoTime((double(count - 1) * period_ns +
+                                        open_ns)));
+            dev->actMany(0, 1001, count, open_ns, start, last_pre);
+            dev->refresh(host.now());
+        }
+    }
+    state.SetLabel(state.range(0) ? "interface" : "direct");
+    state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BulkHammerDevirt)->Arg(0)->Arg(1);
+
 void
 BM_IteratedHammer(benchmark::State &state)
 {

@@ -58,10 +58,11 @@ pitfall1RcdInversion()
     auto write_row = [&](dram::RowAddr host_row, uint64_t pattern) {
         dimm.act(0, host_row, t);
         t += 50;
-        for (dram::ColAddr c = 0; c < dimm.config().columnsPerRow(); ++c) {
-            dimm.write(0, c,
-                       std::vector<uint64_t>(dimm.chipCount(), pattern),
-                       t);
+        for (dram::ColAddr c = 0;
+             c < dimm.chipConfig().columnsPerRow(); ++c) {
+            dimm.writeChips(
+                0, c, std::vector<uint64_t>(dimm.chipCount(), pattern),
+                t);
             t += 2;
         }
         t += 50;

@@ -10,8 +10,9 @@
 namespace dramscope {
 namespace bender {
 
-Host::Host(dram::Chip &chip)
-    : chip_(chip), tck_ns_(chip.config().timing.tCkNs)
+Host::Host(dram::Device &dev)
+    : dev_(dev), tck_ps_(psFromNs(dev.config().timing.tCkNs)),
+      tck_ns_(dev.config().timing.tCkNs)
 {
 }
 
@@ -45,7 +46,7 @@ Host::setMetrics(obs::MetricsRegistry *metrics)
     open_row_hist_ = &metrics_->histogram("act.open_ns", 64, 0.0, 8000.0);
     act_gap_hist_ = &metrics_->histogram("act.gap_ns", 64, 0.0, 1600.0);
     resetMetricsWindow();
-    violations_seen_ = chip_.violationCount();
+    violations_seen_ = dev_.violationCount();
 }
 
 void
@@ -107,7 +108,7 @@ Host::observeBulkHammer(dram::BankId b, dram::RowAddr row, uint64_t count,
 void
 Host::observeViolations()
 {
-    const uint64_t total = chip_.violationCount();
+    const uint64_t total = dev_.violationCount();
     violation_counter_->add(total - violations_seen_);
     violations_seen_ = total;
 }
@@ -162,50 +163,50 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
         switch (ins.op) {
           case Opcode::Act:
             if (observing())
-                observe(obs::TraceCmd::Act, ins.bank, ins.row, 0, now_ns_);
-            chip_.act(ins.bank, ins.row, now());
-            now_ns_ += tck_ns_;
+                observe(obs::TraceCmd::Act, ins.bank, ins.row, 0, nowNsF());
+            dev_.act(ins.bank, ins.row, now());
+            now_ps_ += tck_ps_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Pre:
             if (observing())
-                observe(obs::TraceCmd::Pre, ins.bank, 0, 0, now_ns_);
-            chip_.pre(ins.bank, now());
-            now_ns_ += tck_ns_;
+                observe(obs::TraceCmd::Pre, ins.bank, 0, 0, nowNsF());
+            dev_.pre(ins.bank, now());
+            now_ps_ += tck_ps_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Rd:
             if (observing())
-                observe(obs::TraceCmd::Rd, ins.bank, 0, ins.col, now_ns_);
-            result.reads.push_back(chip_.read(ins.bank, ins.col, now()));
-            now_ns_ += tck_ns_;
+                observe(obs::TraceCmd::Rd, ins.bank, 0, ins.col, nowNsF());
+            result.reads.push_back(dev_.read(ins.bank, ins.col, now()));
+            now_ps_ += tck_ps_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Wr:
             if (observing())
-                observe(obs::TraceCmd::Wr, ins.bank, 0, ins.col, now_ns_);
-            chip_.write(ins.bank, ins.col, ins.data, now());
-            now_ns_ += tck_ns_;
+                observe(obs::TraceCmd::Wr, ins.bank, 0, ins.col, nowNsF());
+            dev_.write(ins.bank, ins.col, ins.data, now());
+            now_ps_ += tck_ps_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Ref:
             if (observing())
-                observe(obs::TraceCmd::Ref, 0, 0, 0, now_ns_);
-            chip_.refresh(now());
-            now_ns_ += tck_ns_;
+                observe(obs::TraceCmd::Ref, 0, 0, 0, nowNsF());
+            dev_.refresh(now());
+            now_ps_ += tck_ps_;
             ++result.commandsIssued;
             ++i;
             break;
           case Opcode::Nop:
-            now_ns_ += double(ins.count) * tck_ns_;
+            now_ps_ += int64_t(ins.count) * tck_ps_;
             ++i;
             break;
           case Opcode::SleepNs:
-            now_ns_ += ins.ns;
+            now_ps_ += psFromNs(ins.ns);
             ++i;
             break;
           case Opcode::LoopBegin: {
@@ -231,13 +232,17 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
                 const uint64_t count = ins.count;
                 const dram::NanoTime start = now();
                 // The last PRE is issued open_ns into the final
-                // iteration, not at the loop end.
-                const double start_ns = now_ns_;
+                // iteration, not at the loop end.  Integer ps math:
+                // the clock advances by exactly count * period.
+                const double start_ns = nowNsF();
+                const int64_t open_ps = psFromNs(open_ns);
+                const int64_t period_ps = psFromNs(period_ns);
                 const auto last_pre = dram::NanoTime(
-                    now_ns_ + double(count - 1) * period_ns + open_ns);
-                now_ns_ += double(count) * period_ns;
-                chip_.actMany(bank, row, count, open_ns, start,
-                              last_pre);
+                    (now_ps_ + int64_t(count - 1) * period_ps + open_ps) /
+                    1000);
+                now_ps_ += int64_t(count) * period_ps;
+                dev_.actMany(bank, row, count, open_ns, start,
+                             last_pre);
                 result.commandsIssued += 2 * count;
                 if (observing()) {
                     observeBulkHammer(bank, row, count, open_ns,

@@ -1,23 +1,30 @@
 /**
  * @file
- * The host controller: executes Bender programs against a chip with a
- * cycle clock, and provides the convenience operations every
+ * The host controller: executes Bender programs against a device with
+ * a cycle clock, and provides the convenience operations every
  * reverse-engineering tool is built from (row read/write, hammer,
  * press, RowCopy, retention waits).
  *
- * The host sees only the command/data interface — exactly the vantage
- * point of the paper's FPGA platform.  It never touches chip
- * internals.
+ * The host sees only the command/data interface (dram::Device) —
+ * exactly the vantage point of the paper's FPGA platform.  It never
+ * touches device internals, and it runs unchanged whether the device
+ * is a single chip, a DIMM rank, or an HBM channel.
+ *
+ * The clock is an integer picosecond counter: command steps (tCK,
+ * tRCD, 35 ns hammer opens) accumulate exactly even after
+ * multi-minute retention waits, where a double nanosecond clock would
+ * start rounding sub-ns steps.
  */
 
 #ifndef DRAMSCOPE_BENDER_HOST_H
 #define DRAMSCOPE_BENDER_HOST_H
 
+#include <cmath>
 #include <vector>
 
 #include "bender/program.h"
 #include "bender/trace.h"
-#include "dram/chip.h"
+#include "dram/device.h"
 #include "util/bitvec.h"
 #include "util/metrics.h"
 
@@ -33,25 +40,25 @@ struct ExecResult
     uint64_t commandsIssued = 0;
 };
 
-/** Host controller bound to one chip. */
+/** Host controller bound to one device. */
 class Host
 {
   public:
-    /** @param chip Device under test (borrowed; must outlive Host). */
-    explicit Host(dram::Chip &chip);
+    /** @param dev Device under test (borrowed; must outlive Host). */
+    explicit Host(dram::Device &dev);
 
-    /** Current host clock (ns). */
-    dram::NanoTime now() const { return dram::NanoTime(now_ns_); }
+    /** Current host clock (ns, truncated from picoseconds). */
+    dram::NanoTime now() const { return dram::NanoTime(now_ps_ / 1000); }
 
     /** Advances the clock without issuing commands. */
-    void waitNs(double ns) { now_ns_ += ns; }
+    void waitNs(double ns) { now_ps_ += psFromNs(ns); }
 
     /** Advances the clock by milliseconds (retention tests). */
-    void waitMs(double ms) { now_ns_ += ms * 1.0e6; }
+    void waitMs(double ms) { now_ps_ += int64_t(std::llround(ms * 1.0e9)); }
 
     /**
      * Executes a program.  Loops whose body is a constant-address
-     * ACT..PRE kernel run through the chip's bulk fast path; all
+     * ACT..PRE kernel run through the device's bulk fast path; all
      * other programs execute slot by slot.
      */
     ExecResult run(const Program &prog);
@@ -156,10 +163,22 @@ class Host
 
     /// @}
 
-    dram::Chip &chip() { return chip_; }
-    const dram::DeviceConfig &config() const { return chip_.config(); }
+    /** The device under test. */
+    dram::Device &device() { return dev_; }
+    const dram::Device &device() const { return dev_; }
+
+    const dram::DeviceConfig &config() const { return dev_.config(); }
 
   private:
+    /** Exact conversion for the repo's dyadic-rational timing values. */
+    static int64_t psFromNs(double ns)
+    {
+        return int64_t(std::llround(ns * 1000.0));
+    }
+
+    /** Clock as a double ns value (observability timestamps). */
+    double nowNsF() const { return double(now_ps_) / 1000.0; }
+
     /**
      * Executes instrs [begin, end); returns the slot after the range.
      */
@@ -194,11 +213,12 @@ class Host
                            uint64_t count, double open_ns,
                            double period_ns, double start_ns);
 
-    /** Folds new chip timing violations into the violation counter. */
+    /** Folds new device timing violations into the violation counter. */
     void observeViolations();
 
-    dram::Chip &chip_;
-    double now_ns_ = 1000.0;  //!< Start past 0 to keep gaps positive.
+    dram::Device &dev_;
+    int64_t now_ps_ = 1'000'000;  //!< Start past 0 to keep gaps positive.
+    int64_t tck_ps_;
     double tck_ns_;
 
     obs::MetricsRegistry *metrics_ = nullptr;
@@ -215,7 +235,7 @@ class Host
 
     std::vector<double> last_act_ns_;   //!< Per bank; < 0 = none yet.
     std::vector<double> open_since_ns_; //!< Per bank; < 0 = closed.
-    uint64_t violations_seen_ = 0;      //!< Chip count already folded.
+    uint64_t violations_seen_ = 0;      //!< Device count already folded.
 };
 
 } // namespace bender

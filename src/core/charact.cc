@@ -16,7 +16,8 @@ namespace core {
 Characterization::Characterization(bender::Host &host, PhysMap map,
                                    CharactOptions opts)
     : host_(host), map_(std::move(map)), opts_(opts),
-      sweep_(host, SweepOptions{opts.jobs, opts.sweepSeed})
+      sweep_(host, SweepOptions{opts.jobs, opts.sweepSeed,
+                                opts.deviceFactory})
 {
     row_bits_ = host_.config().rowBits;
     fatalIf(map_.rowBits() != row_bits_,

@@ -54,6 +54,13 @@ struct CharactOptions
 
     /** Base seed of the per-shard RNG streams. */
     uint64_t sweepSeed = 0x5eedULL;
+
+    /**
+     * Backend factory for parallel sweep replicas (empty: dram::Chip).
+     * Must match the backend of the host the suite is bound to, so
+     * parallel shards run on equivalent devices.
+     */
+    DeviceFactory deviceFactory;
 };
 
 /** One attack run's raw outcome. */

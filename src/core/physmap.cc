@@ -33,6 +33,19 @@ PhysMap::fromSwizzle(const dram::Swizzle &swz, uint32_t columns,
 }
 
 PhysMap
+PhysMap::tiled(const PhysMap &per_chip, uint32_t copies)
+{
+    fatalIf(copies == 0, "PhysMap::tiled: zero copies");
+    const uint32_t n = per_chip.rowBits();
+    std::vector<uint32_t> table(size_t(n) * copies);
+    for (uint32_t k = 0; k < copies; ++k) {
+        for (uint32_t h = 0; h < n; ++h)
+            table[size_t(k) * n + h] = k * n + per_chip.physOf(h);
+    }
+    return fromTable(std::move(table));
+}
+
+PhysMap
 PhysMap::fromTable(std::vector<uint32_t> host_to_phys)
 {
     PhysMap map(uint32_t(host_to_phys.size()));

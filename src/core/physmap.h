@@ -38,6 +38,14 @@ class PhysMap
     /** Builds from an explicit host-bit -> physical-bl table. */
     static PhysMap fromTable(std::vector<uint32_t> host_to_phys);
 
+    /**
+     * Tiles a per-chip map across @p copies chips: copy k covers host
+     * bits [k * n, (k + 1) * n) and physical bitlines offset by
+     * k * n, where n = per_chip.rowBits().  This is the rank-level
+     * map of a DIMM Device, whose column space is chip-major.
+     */
+    static PhysMap tiled(const PhysMap &per_chip, uint32_t copies);
+
     /** Physical bitline of host bit (col * rdDataBits + rd_bit). */
     uint32_t physOf(uint32_t host_bit) const
     {

@@ -8,8 +8,8 @@
 namespace dramscope {
 namespace core {
 
-DrfmController::DrfmController(dram::Chip &chip, DrfmOptions opts)
-    : chip_(chip), opts_(opts)
+DrfmController::DrfmController(dram::Device &dev, DrfmOptions opts)
+    : dev_(dev), opts_(opts)
 {
 }
 
@@ -26,18 +26,6 @@ DrfmController::onActivate(dram::RowAddr logical_row, uint64_t count,
 }
 
 void
-DrfmController::refreshNeighbors(dram::RowAddr phys_row,
-                                 dram::NanoTime now)
-{
-    auto &bank = chip_.bank(opts_.bank);
-    const auto &map = chip_.subarrayMap();
-    for (const bool upper : {false, true}) {
-        if (const auto nb = map.neighbor(phys_row, upper))
-            bank.restoreRow(*nb, now);
-    }
-}
-
-void
 DrfmController::issueDrfm(dram::NanoTime now)
 {
     if (!sampled_)
@@ -46,10 +34,7 @@ DrfmController::issueDrfm(dram::NanoTime now)
     // In-DRAM action: the device translates the sampled address and
     // refreshes the true neighbours of the whole activated set —
     // including the coupled partner's neighbours.
-    const dram::RowAddr phys = chip_.toPhysical(*sampled_);
-    refreshNeighbors(phys, now);
-    if (const auto partner = chip_.coupledPartner(phys))
-        refreshNeighbors(*partner, now);
+    dev_.refreshAggressorNeighbors(opts_.bank, *sampled_, now);
 }
 
 } // namespace core

@@ -8,6 +8,10 @@
  * device, it can use the true adjacency — including the internal
  * remap and the coupled-row relation — which is exactly why the paper
  * recommends it for coupled-row protection.
+ *
+ * The controller speaks only dram::Device (the mitigation is the
+ * device's refreshAggressorNeighbors primitive), so it drives chips,
+ * DIMM ranks and HBM channels alike.
  */
 
 #ifndef DRAMSCOPE_CORE_PROTECT_DRFM_H
@@ -15,7 +19,7 @@
 
 #include <optional>
 
-#include "dram/chip.h"
+#include "dram/device.h"
 
 namespace dramscope {
 namespace core {
@@ -33,7 +37,7 @@ struct DrfmOptions
 class DrfmController
 {
   public:
-    DrfmController(dram::Chip &chip, DrfmOptions opts);
+    DrfmController(dram::Device &dev, DrfmOptions opts);
 
     /**
      * MC hook: accounts @p count activations of @p logical_row;
@@ -54,9 +58,7 @@ class DrfmController
     uint64_t drfmCount() const { return drfm_count_; }
 
   private:
-    void refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now);
-
-    dram::Chip &chip_;
+    dram::Device &dev_;
     DrfmOptions opts_;
     std::optional<dram::RowAddr> sampled_;  //!< Logical address.
     uint64_t since_last_ = 0;

@@ -12,9 +12,9 @@
 namespace dramscope {
 namespace core {
 
-RfmEngine::RfmEngine(dram::Chip &chip, dram::BankId bank,
+RfmEngine::RfmEngine(dram::Device &dev, dram::BankId bank,
                      uint32_t table_size)
-    : chip_(chip), bank_(bank), table_size_(table_size)
+    : dev_(dev), bank_(bank), table_size_(table_size)
 {
     fatalIf(table_size_ == 0, "RfmEngine: empty table");
 }
@@ -42,19 +42,6 @@ RfmEngine::onActivate(dram::RowAddr logical_row, uint64_t count)
 }
 
 void
-RfmEngine::refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now)
-{
-    auto &bank = chip_.bank(bank_);
-    const auto &map = chip_.subarrayMap();
-    for (const bool upper : {false, true}) {
-        if (const auto nb = map.neighbor(phys_row, upper)) {
-            bank.restoreRow(*nb, now);
-            ++mitigations_;
-        }
-    }
-}
-
-void
 RfmEngine::onRfm(dram::NanoTime now)
 {
     if (table_.empty())
@@ -66,10 +53,7 @@ RfmEngine::onRfm(dram::NanoTime now)
     // The device translates through its own remap and knows the
     // coupled relation — exactly why the paper favours in-DRAM RFM
     // mitigation for coupled-row protection (SS VI-B).
-    const dram::RowAddr phys = chip_.toPhysical(hot->first);
-    refreshNeighbors(phys, now);
-    if (const auto partner = chip_.coupledPartner(phys))
-        refreshNeighbors(*partner, now);
+    mitigations_ += dev_.refreshAggressorNeighbors(bank_, hot->first, now);
     hot->second /= 2;  // Decay instead of reset: conservative.
 }
 

@@ -9,6 +9,11 @@
  * designs) and, on RFM, refreshes the neighbours of the hottest
  * tracked row — with full knowledge of its internal topology,
  * including the coupled-row relation and the true physical adjacency.
+ *
+ * The engine speaks only dram::Device: the in-DRAM mitigation step is
+ * the device's refreshAggressorNeighbors primitive, so the same
+ * engine protects a chip, every chip of a DIMM rank, or an HBM
+ * channel.
  */
 
 #ifndef DRAMSCOPE_CORE_PROTECT_RFM_H
@@ -17,7 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "dram/chip.h"
+#include "dram/device.h"
 
 namespace dramscope {
 namespace core {
@@ -27,11 +32,11 @@ class RfmEngine
 {
   public:
     /**
-     * @param chip The device this engine lives in.
+     * @param dev The device this engine lives in.
      * @param bank Bank the engine serves.
      * @param table_size Space-saving table entries.
      */
-    RfmEngine(dram::Chip &chip, dram::BankId bank,
+    RfmEngine(dram::Device &dev, dram::BankId bank,
               uint32_t table_size = 16);
 
     /**
@@ -50,9 +55,7 @@ class RfmEngine
     uint64_t mitigations() const { return mitigations_; }
 
   private:
-    void refreshNeighbors(dram::RowAddr phys_row, dram::NanoTime now);
-
-    dram::Chip &chip_;
+    dram::Device &dev_;
     dram::BankId bank_;
     uint32_t table_size_;
     std::unordered_map<dram::RowAddr, uint64_t> table_;  //!< Logical.

@@ -27,22 +27,23 @@ resolveJobs(unsigned requested)
     return hw > 0 ? hw : 1;
 }
 
-/** One worker's private device: a chip copy plus its host, with a
- *  local metrics registry the runner drains after every sweep. */
+/** One worker's private device replica plus its host, with a local
+ *  metrics registry the runner drains after every sweep. */
 struct SweepRunner::Replica
 {
-    dram::Chip chip;
+    std::unique_ptr<dram::Device> dev;
     bender::Host host;
     obs::MetricsRegistry metrics;
 
-    explicit Replica(const dram::DeviceConfig &cfg)
-        : chip(cfg), host(chip)
+    explicit Replica(std::unique_ptr<dram::Device> device)
+        : dev(std::move(device)), host(*dev)
     {
     }
 };
 
 SweepRunner::SweepRunner(bender::Host &host, SweepOptions opts)
-    : host_(host), jobs_(resolveJobs(opts.jobs)), seed_(opts.seed)
+    : host_(host), jobs_(resolveJobs(opts.jobs)), seed_(opts.seed),
+      factory_(std::move(opts.deviceFactory))
 {
 }
 
@@ -82,8 +83,11 @@ SweepRunner::forEachShard(uint32_t shards,
         // Each worker touches only its own replica slot, so the lazy
         // construction below is race-free without locking.
         auto &replica = replicas_[size_t(ThreadPool::currentWorker())];
-        if (!replica)
-            replica = std::make_unique<Replica>(cfg);
+        if (!replica) {
+            replica = std::make_unique<Replica>(
+                factory_ ? factory_(cfg)
+                         : std::make_unique<dram::Chip>(cfg));
+        }
         if (want_metrics) {
             if (!replica->host.metrics())
                 replica->host.setMetrics(&replica->metrics);

@@ -64,6 +64,17 @@ struct ShardContext
     uint32_t shardCount = 1;  //!< Total units in the sweep.
 };
 
+/**
+ * Builds one worker-private device replica from the legacy host's
+ * configuration.  The default (an empty function) constructs a
+ * dram::Chip; sweeps over other backends (a DIMM rank, an HBM
+ * channel) install a factory returning their own Device.  The factory
+ * must return equivalent silicon for equal configs — replicas exist
+ * only for parallelism and results stay bit-identical to serial.
+ */
+using DeviceFactory =
+    std::function<std::unique_ptr<dram::Device>(const dram::DeviceConfig &)>;
+
 /** Sweep engine options. */
 struct SweepOptions
 {
@@ -76,6 +87,17 @@ struct SweepOptions
 
     /** Base seed of the per-shard Rng streams. */
     uint64_t seed = 0x5eedULL;
+
+    /** Replica backend factory (empty: dram::Chip replicas). */
+    DeviceFactory deviceFactory;
+
+    SweepOptions() = default;
+    SweepOptions(unsigned jobs_arg, uint64_t seed_arg,
+                 DeviceFactory factory = {})
+        : jobs(jobs_arg), seed(seed_arg),
+          deviceFactory(std::move(factory))
+    {
+    }
 };
 
 /**
@@ -132,11 +154,12 @@ class SweepRunner
                       const std::function<void(ShardContext &)> &unit);
 
   private:
-    struct Replica;  //!< Thread-local Chip + Host pair.
+    struct Replica;  //!< Thread-local Device + Host pair.
 
     bender::Host &host_;
     unsigned jobs_;
     uint64_t seed_;
+    DeviceFactory factory_;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<std::unique_ptr<Replica>> replicas_;
 };

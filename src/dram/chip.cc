@@ -254,5 +254,28 @@ Chip::openPhysicalRow(BankId b) const
     return f.openRow;
 }
 
+uint32_t
+Chip::refreshAggressorNeighbors(BankId b, RowAddr logical_row,
+                                NanoTime now)
+{
+    // The device translates through its own remap and knows the
+    // coupled relation — exactly why the paper favours in-DRAM
+    // RFM/DRFM mitigation for coupled-row protection (SS VI-B).
+    uint32_t restored = 0;
+    auto restore_around = [&](RowAddr phys_row) {
+        for (const bool upper : {false, true}) {
+            if (const auto nb = map_->neighbor(phys_row, upper)) {
+                bank(b).restoreRow(*nb, now);
+                ++restored;
+            }
+        }
+    };
+    const RowAddr phys = toPhysical(logical_row);
+    restore_around(phys);
+    if (const auto partner = coupledPartner(phys))
+        restore_around(*partner);
+    return restored;
+}
+
 } // namespace dram
 } // namespace dramscope

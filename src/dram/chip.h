@@ -19,19 +19,13 @@
 
 #include "dram/bank.h"
 #include "dram/config.h"
+#include "dram/device.h"
 #include "dram/geometry.h"
 #include "dram/swizzle.h"
 #include "dram/types.h"
 
 namespace dramscope {
 namespace dram {
-
-/** One recorded command timing violation. */
-struct TimingViolation
-{
-    std::string what;
-    NanoTime when;
-};
 
 /** Chip-level activity counters. */
 struct ChipStats
@@ -50,35 +44,35 @@ struct ChipStats
     uint64_t wordlinesDriven = 0;
 };
 
-/** A simulated DRAM chip. */
-class Chip
+/** A simulated DRAM chip: the native Device implementation. */
+class Chip final : public Device
 {
   public:
     /** Builds a chip from a configuration (copied and validated). */
     explicit Chip(DeviceConfig cfg);
 
-    const DeviceConfig &config() const { return cfg_; }
+    const DeviceConfig &config() const override { return cfg_; }
 
     /** Activates @p logical_row in bank @p b at time @p now (ns). */
-    void act(BankId b, RowAddr logical_row, NanoTime now);
+    void act(BankId b, RowAddr logical_row, NanoTime now) override;
 
     /** Precharges bank @p b. */
-    void pre(BankId b, NanoTime now);
+    void pre(BankId b, NanoTime now) override;
 
     /**
      * Reads one RD_data burst (rdDataBits bits, LSB = bit 0) from the
      * open row of bank @p b at column @p col.
      */
-    uint64_t read(BankId b, ColAddr col, NanoTime now);
+    uint64_t read(BankId b, ColAddr col, NanoTime now) override;
 
     /** Writes one RD_data burst to the open row. */
-    void write(BankId b, ColAddr col, uint64_t data, NanoTime now);
+    void write(BankId b, ColAddr col, uint64_t data, NanoTime now) override;
 
     /**
      * Refresh: commits and restores every materialized row of every
      * bank.  All banks must be precharged.
      */
-    void refresh(NanoTime now);
+    void refresh(NanoTime now) override;
 
     /**
      * Bulk hammering fast path: semantically identical to @p count
@@ -89,7 +83,16 @@ class Chip
      * @param last_pre Time the last PRE command is issued.
      */
     void actMany(BankId b, RowAddr logical_row, uint64_t count,
-                 double open_ns, NanoTime start, NanoTime last_pre);
+                 double open_ns, NanoTime start,
+                 NanoTime last_pre) override;
+
+    /**
+     * In-DRAM RFM/DRFM primitive: restores the AIB neighbours of
+     * @p logical_row — translated through the internal remap — and,
+     * when the chip couples rows, of its coupled partner too.
+     */
+    uint32_t refreshAggressorNeighbors(BankId b, RowAddr logical_row,
+                                       NanoTime now) override;
 
     /** True when bank @p b has an open row. */
     bool isOpen(BankId b) const;
@@ -111,8 +114,14 @@ class Chip
         return violations_;
     }
 
+    /** Recorded violations, by value (Device interface). */
+    std::vector<TimingViolation> violationLog() const override
+    {
+        return violations_;
+    }
+
     /** Total violations including those beyond the cap. */
-    uint64_t violationCount() const { return violation_count_; }
+    uint64_t violationCount() const override { return violation_count_; }
 
     /** White-box access for unit tests and ground-truth checks. */
     Bank &bank(BankId b);

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Device interface out-of-line anchor (keeps one vtable per binary).
+ */
+
+#include "dram/device.h"
+
+namespace dramscope {
+namespace dram {
+
+Device::~Device() = default;
+
+} // namespace dram
+} // namespace dramscope

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The abstract DRAM command interface: the exact surface the paper's
+ * FPGA platform (DRAM Bender) exposes to experiments — ACT / PRE /
+ * RD / WR / REF plus timing-violation reporting.
+ *
+ * Everything above this line (bender::Host, RE tools, the
+ * characterization suite, the protection models) is written against
+ * Device and therefore runs unchanged whether the commands land on a
+ * single chip, a registered DIMM rank (RCD address inversion + DQ
+ * twist applied inside), or one HBM channel.
+ *
+ * Implementations accept any command sequence, including out-of-spec
+ * ones (RowCopy is an ACT inside tRP): violations are *recorded*, and
+ * the analog consequences are modeled rather than rejected.
+ */
+
+#ifndef DRAMSCOPE_DRAM_DEVICE_H
+#define DRAMSCOPE_DRAM_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/types.h"
+
+namespace dramscope {
+namespace dram {
+
+/** One recorded command timing violation. */
+struct TimingViolation
+{
+    std::string what;
+    NanoTime when;
+};
+
+/** Abstract command/data interface of one device under test. */
+class Device
+{
+  public:
+    virtual ~Device();
+
+    /** Host-visible geometry and timing of this device. */
+    virtual const DeviceConfig &config() const = 0;
+
+    /** Activates @p row in bank @p b at time @p now (ns). */
+    virtual void act(BankId b, RowAddr row, NanoTime now) = 0;
+
+    /** Precharges bank @p b. */
+    virtual void pre(BankId b, NanoTime now) = 0;
+
+    /**
+     * Reads one RD_data burst (config().rdDataBits bits, LSB = bit 0)
+     * from the open row of bank @p b at column @p col.
+     */
+    virtual uint64_t read(BankId b, ColAddr col, NanoTime now) = 0;
+
+    /** Writes one RD_data burst to the open row. */
+    virtual void write(BankId b, ColAddr col, uint64_t data,
+                       NanoTime now) = 0;
+
+    /** Refresh; all banks must be precharged. */
+    virtual void refresh(NanoTime now) = 0;
+
+    /**
+     * Bulk hammering fast path: semantically identical to @p count
+     * repetitions of ACT(row), wait @p open_ns, PRE, wait tRP, with
+     * no other commands interleaved.  One virtual call covers the
+     * whole loop, so the fast path never pays per-iteration dispatch.
+     * The bank must start and end precharged.
+     * @param start Time of the first ACT.
+     * @param last_pre Time the last PRE command is issued.
+     */
+    virtual void actMany(BankId b, RowAddr row, uint64_t count,
+                         double open_ns, NanoTime start,
+                         NanoTime last_pre) = 0;
+
+    /** Total timing violations recorded so far (never truncated). */
+    virtual uint64_t violationCount() const = 0;
+
+    /**
+     * Recorded violation entries (implementations may cap the log;
+     * violationCount() keeps the true total).
+     */
+    virtual std::vector<TimingViolation> violationLog() const = 0;
+
+    /**
+     * In-DRAM mitigation primitive (RFM / DRFM, SS VI-B): refreshes
+     * the physically adjacent rows of @p row — resolved through the
+     * device's *internal* knowledge (row remap, coupled-row relation,
+     * subarray boundaries, and per-chip addressing on a DIMM).
+     * @p row is a host/logical address.  Returns rows restored.
+     */
+    virtual uint32_t refreshAggressorNeighbors(BankId b, RowAddr row,
+                                               NanoTime now) = 0;
+
+  protected:
+    Device() = default;
+    Device(const Device &) = default;
+    Device &operator=(const Device &) = default;
+};
+
+} // namespace dram
+} // namespace dramscope
+
+#endif // DRAMSCOPE_DRAM_DEVICE_H

@@ -47,9 +47,17 @@ class HbmStack
     /** Channels in the stack. */
     uint32_t channelCount() const { return uint32_t(channels_.size()); }
 
-    /** Channel @p c. */
+    /** Channel @p c (a Chip, hence a Device). */
     Chip &
     channel(uint32_t c)
+    {
+        panicIf(c >= channels_.size(), "HbmStack: channel out of range");
+        return *channels_[c];
+    }
+
+    /** Channel @p c, read-only. */
+    const Chip &
+    channel(uint32_t c) const
     {
         panicIf(c >= channels_.size(), "HbmStack: channel out of range");
         return *channels_[c];

@@ -37,6 +37,29 @@ Dimm::Dimm(dram::DeviceConfig chip_cfg, bool rcd_inversion,
         else
             twists_.emplace_back(cfg_.width, c);
     }
+    // The rank-level Device view: one wide row per host row, columns
+    // chip-major.  Both rowBits and matWidth scale by the chip count,
+    // so matsPerRow/groupBits (and with them the swizzle geometry)
+    // stay per-chip quantities.
+    bus_cfg_ = cfg_;
+    bus_cfg_.name = cfg_.name + "/rank";
+    bus_cfg_.rowBits = cfg_.rowBits * n_chips;
+    bus_cfg_.matWidth = cfg_.matWidth * n_chips;
+    bus_cfg_.validate();
+}
+
+uint32_t
+Dimm::chipOfCol(dram::ColAddr col) const
+{
+    const uint32_t c = col / cfg_.columnsPerRow();
+    panicIf(c >= chipCount(), "Dimm: device column out of range");
+    return c;
+}
+
+dram::ColAddr
+Dimm::chipCol(dram::ColAddr col) const
+{
+    return col % cfg_.columnsPerRow();
 }
 
 dram::RowAddr
@@ -72,8 +95,70 @@ Dimm::refresh(dram::NanoTime now)
         chip->refresh(now);
 }
 
-std::vector<uint64_t>
+uint64_t
 Dimm::read(dram::BankId b, dram::ColAddr col, dram::NanoTime now)
+{
+    const uint32_t c = chipOfCol(col);
+    const uint64_t chip_data = chips_[c]->read(b, chipCol(col), now);
+    return twists_[c].toHost(chip_data, cfg_.rdDataBits);
+}
+
+void
+Dimm::write(dram::BankId b, dram::ColAddr col, uint64_t data,
+            dram::NanoTime now)
+{
+    const uint32_t c = chipOfCol(col);
+    chips_[c]->write(b, chipCol(col),
+                     twists_[c].toChip(data, cfg_.rdDataBits), now);
+}
+
+void
+Dimm::actMany(dram::BankId b, dram::RowAddr host_row, uint64_t count,
+              double open_ns, dram::NanoTime start,
+              dram::NanoTime last_pre)
+{
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        chips_[c]->actMany(b, chipRow(c, host_row), count, open_ns,
+                           start, last_pre);
+    }
+}
+
+uint64_t
+Dimm::violationCount() const
+{
+    uint64_t total = 0;
+    for (const auto &chip : chips_)
+        total += chip->violationCount();
+    return total;
+}
+
+std::vector<dram::TimingViolation>
+Dimm::violationLog() const
+{
+    std::vector<dram::TimingViolation> log;
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        for (const auto &v : chips_[c]->violations()) {
+            log.push_back({"chip" + std::to_string(c) + ": " + v.what,
+                           v.when});
+        }
+    }
+    return log;
+}
+
+uint32_t
+Dimm::refreshAggressorNeighbors(dram::BankId b, dram::RowAddr host_row,
+                                dram::NanoTime now)
+{
+    uint32_t restored = 0;
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        restored += chips_[c]->refreshAggressorNeighbors(
+            b, chipRow(c, host_row), now);
+    }
+    return restored;
+}
+
+std::vector<uint64_t>
+Dimm::readChips(dram::BankId b, dram::ColAddr col, dram::NanoTime now)
 {
     std::vector<uint64_t> out(chipCount());
     for (uint32_t c = 0; c < chipCount(); ++c) {
@@ -84,11 +169,12 @@ Dimm::read(dram::BankId b, dram::ColAddr col, dram::NanoTime now)
 }
 
 void
-Dimm::write(dram::BankId b, dram::ColAddr col,
-            const std::vector<uint64_t> &host_data, dram::NanoTime now)
+Dimm::writeChips(dram::BankId b, dram::ColAddr col,
+                 const std::vector<uint64_t> &host_data,
+                 dram::NanoTime now)
 {
     fatalIf(host_data.size() != chipCount(),
-            "Dimm::write: data vector size mismatch");
+            "Dimm::writeChips: data vector size mismatch");
     for (uint32_t c = 0; c < chipCount(); ++c) {
         chips_[c]->write(b, col,
                          twists_[c].toChip(host_data[c], cfg_.rdDataBits),

@@ -29,7 +29,7 @@ class DimmReTest : public ::testing::Test
     writeRowAware(uint32_t chip, RowAddr chip_row, uint64_t host_data)
     {
         auto &c = dimm_.chip(chip);
-        const auto &cfg = dimm_.config();
+        const auto &cfg = dimm_.chipConfig();
         c.act(0, chip_row, t_);
         t_ += 20;
         const uint64_t wire =
@@ -47,7 +47,7 @@ class DimmReTest : public ::testing::Test
     flipsAware(uint32_t chip, RowAddr chip_row, uint64_t expect)
     {
         auto &c = dimm_.chip(chip);
-        const auto &cfg = dimm_.config();
+        const auto &cfg = dimm_.chipConfig();
         c.act(0, chip_row, t_);
         t_ += 20;
         size_t flips = 0;
@@ -112,8 +112,8 @@ TEST_F(DimmReTest, NaiveHostMissesTheBSideVictims)
         std::vector<uint64_t> data(dimm_.chipCount(),
                                    r == host_aggr ? 0 : ones);
         for (dram::ColAddr col = 0;
-             col < dimm_.config().columnsPerRow(); ++col) {
-            dimm_.write(0, col, data, t);
+             col < dimm_.chipConfig().columnsPerRow(); ++col) {
+            dimm_.writeChips(0, col, data, t);
             t += 2;
         }
         t += 40;

@@ -9,6 +9,7 @@
 #include "core/attack/templating.h"
 #include "core/patterns.h"
 #include "core/protect/ecc.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

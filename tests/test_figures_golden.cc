@@ -16,6 +16,7 @@
 #include <numeric>
 
 #include "core/charact.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

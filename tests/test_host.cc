@@ -79,6 +79,21 @@ TEST_F(HostTest, HammerLoopUsesBulkPathTime)
     EXPECT_NEAR(elapsed, 1000 * 50.0, 100.0);
 }
 
+TEST_F(HostTest, BulkClockExactAfterLongWait)
+{
+    // The picosecond clock must not lose precision at large absolute
+    // times: after 64 seconds of simulated wait the default hammer
+    // kernel (35ns open + 1.25ns PRE slot + 13.75ns tRP = 50ns) still
+    // advances now() by *exactly* count * 50ns.  A double-ns clock
+    // fails this — at 6.4e10ns the ULP exceeds the sub-ns kernel
+    // terms and the sum drifts.
+    host_.waitMs(64.0 * 1e3);
+    const auto t0 = host_.now();
+    const uint64_t count = 12345;
+    host_.hammer(0, 21, count);
+    EXPECT_EQ(host_.now() - t0, dram::NanoTime(count * 50));
+}
+
 TEST_F(HostTest, WriteReadRowBitsRoundtrip)
 {
     BitVec bits(cfg_.rowBits);

@@ -121,8 +121,8 @@ TEST_F(DimmTest, WriteReadRoundtripAcrossChips)
         data[c] = (0xABCD1234ULL * (c + 1)) & 0xFFFFFFFFULL;
 
     dimm_.act(0, 40, t0);
-    dimm_.write(0, 3, data, t0 + 20);
-    EXPECT_EQ(dimm_.read(0, 3, t0 + 25), data);
+    dimm_.writeChips(0, 3, data, t0 + 20);
+    EXPECT_EQ(dimm_.readChips(0, 3, t0 + 25), data);
     dimm_.pre(0, t0 + 60);
 }
 
@@ -133,7 +133,7 @@ TEST_F(DimmTest, NaiveHostSeesGhostRows)
     const dram::NanoTime t0 = 1000;
     std::vector<uint64_t> ones(dimm_.chipCount(), 0xFFFFFFFFULL);
     dimm_.act(0, 5, t0);
-    dimm_.write(0, 0, ones, t0 + 20);
+    dimm_.writeChips(0, 0, ones, t0 + 20);
     dimm_.pre(0, t0 + 60);
 
     // Chip 15 (B side), asked directly for its row 5, has nothing.

@@ -11,6 +11,7 @@
 #include "core/protect/scramble.h"
 #include "core/protect/tracker.h"
 #include "core/patterns.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

@@ -11,6 +11,7 @@
 #include "core/re_polarity.h"
 #include "core/re_subarray.h"
 #include "core/re_swizzle.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

@@ -7,6 +7,7 @@
 
 #include "core/re_retention.h"
 #include "core/re_subarray.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

@@ -8,6 +8,7 @@
 
 #include "bender/host.h"
 #include "core/protect/rfm.h"
+#include "dram/chip.h"
 #include "test_common.h"
 
 namespace dramscope {

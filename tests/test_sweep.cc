@@ -16,6 +16,7 @@
 
 #include "core/charact.h"
 #include "core/sweep.h"
+#include "dram/chip.h"
 #include "test_common.h"
 #include "util/metrics.h"
 #include "util/threadpool.h"

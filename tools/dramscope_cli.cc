@@ -15,6 +15,13 @@
  * `hammer`, `press` and `rowcopy` accept a trailing `--trace=FILE`
  * flag that streams every issued command as one JSONL record
  * ({ns, cmd, bank, row, col}) to FILE.
+ *
+ * Every device-driving subcommand accepts `--device=BACKEND` to pick
+ * what sits behind the command interface:
+ *   --device=chip        one chip (default)
+ *   --device=dimm        a registered DIMM rank (RCD inversion + DQ
+ *                        twist applied inside the device)
+ *   --device=hbm[:N]     channel N of an HBM stack (default 0)
  */
 
 #include <cstdio>
@@ -31,12 +38,71 @@
 #include "core/re_retention.h"
 #include "core/re_subarray.h"
 #include "dram/chip.h"
+#include "dram/hbm_stack.h"
+#include "mapping/dimm.h"
 #include "util/metrics.h"
 #include "util/table.h"
 
 using namespace dramscope;
 
 namespace {
+
+/**
+ * The device behind the command interface, owned by the subcommand:
+ * built from a preset configuration and a `--device=` spec.
+ */
+struct DeviceUnderTest
+{
+    std::unique_ptr<dram::Chip> chip;
+    std::unique_ptr<mapping::Dimm> dimm;
+    std::unique_ptr<dram::HbmStack> hbm;
+    dram::Device *dev = nullptr;
+};
+
+/**
+ * Builds the backend selected by @p spec ("chip", "dimm",
+ * "hbm[:channel]") for @p cfg.  Exits with a diagnostic on an unknown
+ * spec or an out-of-range HBM channel.
+ */
+DeviceUnderTest
+makeDevice(const dram::DeviceConfig &cfg, const std::string &spec)
+{
+    DeviceUnderTest d;
+    if (spec.empty() || spec == "chip") {
+        d.chip = std::make_unique<dram::Chip>(cfg);
+        d.dev = d.chip.get();
+        return d;
+    }
+    if (spec == "dimm") {
+        d.dimm = std::make_unique<mapping::Dimm>(cfg);
+        d.dev = d.dimm.get();
+        return d;
+    }
+    if (spec.rfind("hbm", 0) == 0) {
+        uint32_t channel = 0;
+        if (spec.size() > 3) {
+            if (spec[3] != ':') {
+                std::fprintf(stderr, "error: bad --device spec '%s'\n",
+                             spec.c_str());
+                std::exit(2);
+            }
+            channel = uint32_t(std::atol(spec.c_str() + 4));
+        }
+        d.hbm = std::make_unique<dram::HbmStack>(cfg);
+        if (channel >= d.hbm->channelCount()) {
+            std::fprintf(stderr,
+                         "error: HBM channel %u out of range (0..%u)\n",
+                         channel, d.hbm->channelCount() - 1);
+            std::exit(2);
+        }
+        d.dev = &d.hbm->channel(channel);
+        return d;
+    }
+    std::fprintf(stderr,
+                 "error: unknown --device '%s' (chip|dimm|hbm[:N])\n",
+                 spec.c_str());
+    std::exit(2);
+}
 
 int
 usage()
@@ -54,7 +120,9 @@ usage()
         "  stats <preset> [row] [n]      command metrics of a hammer "
         "workload\n"
         "hammer/press/rowcopy accept --trace=FILE (JSONL command "
-        "trace)\n");
+        "trace)\n"
+        "device commands accept --device=chip|dimm|hbm[:channel] "
+        "(default chip)\n");
     return 2;
 }
 
@@ -132,11 +200,12 @@ cmdInspect(const std::string &preset)
 
 int
 cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
-          bool press, const std::string &trace_path)
+          bool press, const std::string &trace_path,
+          const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
-    dram::Chip chip(cfg);
-    bender::Host host(chip);
+    auto dut = makeDevice(cfg, device_spec);
+    bender::Host host(*dut.dev);
     const auto trace = maybeAttachTrace(host, trace_path);
 
     // Probe a wide window: internal remapping can place the physical
@@ -177,11 +246,12 @@ cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
 
 int
 cmdRowCopy(const std::string &preset, dram::RowAddr src,
-           dram::RowAddr dst, const std::string &trace_path)
+           dram::RowAddr dst, const std::string &trace_path,
+           const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
-    dram::Chip chip(cfg);
-    bender::Host host(chip);
+    auto dut = makeDevice(cfg, device_spec);
+    bender::Host host(*dut.dev);
     const auto trace = maybeAttachTrace(host, trace_path);
     core::SubarrayMapper mapper(host);
     bool inverted = false;
@@ -202,11 +272,12 @@ cmdRowCopy(const std::string &preset, dram::RowAddr src,
 }
 
 int
-cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count)
+cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count,
+         const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
-    dram::Chip chip(cfg);
-    bender::Host host(chip);
+    auto dut = makeDevice(cfg, device_spec);
+    bender::Host host(*dut.dev);
     obs::MetricsRegistry metrics;
     host.setMetrics(&metrics);
 
@@ -247,11 +318,11 @@ cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count)
 }
 
 int
-cmdRetention(const std::string &preset)
+cmdRetention(const std::string &preset, const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
-    dram::Chip chip(cfg);
-    bender::Host host(chip);
+    auto dut = makeDevice(cfg, device_spec);
+    bender::Host host(*dut.dev);
     core::RetentionProfiler profiler(host);
     const auto profile = profiler.profile();
     Table t({"Wait (ms)", "Decayed", "Tested", "Fraction"});
@@ -267,11 +338,11 @@ cmdRetention(const std::string &preset)
 }
 
 int
-cmdReport(const std::string &preset)
+cmdReport(const std::string &preset, const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
-    dram::Chip chip(cfg);
-    bender::Host host(chip);
+    auto dut = makeDevice(cfg, device_spec);
+    bender::Host host(*dut.dev);
 
     std::printf("reverse-engineering %s ...\n", preset.c_str());
     core::AdjacencyMapper adjacency(host);
@@ -318,13 +389,17 @@ cmdReport(const std::string &preset)
 int
 main(int argc, char **argv)
 {
-    // Split flags (--trace=FILE) from positional arguments.
+    // Split flags (--trace=FILE, --device=SPEC) from positional
+    // arguments.
     std::vector<std::string> args;
     std::string trace_path;
+    std::string device_spec;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--trace=", 0) == 0)
             trace_path = arg.substr(8);
+        else if (arg.rfind("--device=", 0) == 0)
+            device_spec = arg.substr(9);
         else
             args.push_back(arg);
     }
@@ -339,9 +414,9 @@ main(int argc, char **argv)
         if (cmd == "inspect")
             return cmdInspect(preset);
         if (cmd == "retention")
-            return cmdRetention(preset);
+            return cmdRetention(preset, device_spec);
         if (cmd == "report")
-            return cmdReport(preset);
+            return cmdReport(preset, device_spec);
         if (cmd == "stats") {
             const auto row = args.size() > 2
                                  ? dram::RowAddr(std::atoll(args[2].c_str()))
@@ -349,19 +424,19 @@ main(int argc, char **argv)
             const auto n = args.size() > 3
                                ? uint64_t(std::atoll(args[3].c_str()))
                                : uint64_t(10000);
-            return cmdStats(preset, row, n);
+            return cmdStats(preset, row, n, device_spec);
         }
         if ((cmd == "hammer" || cmd == "press") && args.size() == 4) {
             return cmdAttack(preset,
                              dram::RowAddr(std::atoll(args[2].c_str())),
                              uint64_t(std::atoll(args[3].c_str())),
-                             cmd == "press", trace_path);
+                             cmd == "press", trace_path, device_spec);
         }
         if (cmd == "rowcopy" && args.size() == 4) {
             return cmdRowCopy(preset,
                               dram::RowAddr(std::atoll(args[2].c_str())),
                               dram::RowAddr(std::atoll(args[3].c_str())),
-                              trace_path);
+                              trace_path, device_spec);
         }
     }
     return usage();
