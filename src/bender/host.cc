@@ -5,6 +5,8 @@
 
 #include "bender/host.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace dramscope {
@@ -12,7 +14,7 @@ namespace bender {
 
 Host::Host(dram::Device &dev)
     : dev_(dev), tck_ps_(psFromNs(dev.config().timing.tCkNs)),
-      tck_ns_(dev.config().timing.tCkNs)
+      lint_mode_(lint::modeFromEnv())
 {
 }
 
@@ -116,7 +118,7 @@ Host::observeViolations()
 bool
 Host::matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
                       size_t end, dram::BankId &bank, dram::RowAddr &row,
-                      double &open_ns, double &period_ns) const
+                      int64_t &open_ps, int64_t &period_ps) const
 {
     // Accepted shape: Act(b, r) {Nop|SleepNs}* Pre(b) {Nop|SleepNs}*.
     size_t i = begin;
@@ -124,32 +126,32 @@ Host::matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
         return false;
     bank = instrs[i].bank;
     row = instrs[i].row;
-    double t = tck_ns_;  // The ACT slot itself.
+    int64_t t = tck_ps_;  // The ACT slot itself.
     ++i;
     while (i < end && (instrs[i].op == Opcode::Nop ||
                        instrs[i].op == Opcode::SleepNs)) {
         t += instrs[i].op == Opcode::Nop
-                 ? double(instrs[i].count) * tck_ns_
-                 : instrs[i].ns;
+                 ? int64_t(instrs[i].count) * tck_ps_
+                 : instrs[i].ps;
         ++i;
     }
     if (i >= end || instrs[i].op != Opcode::Pre ||
         instrs[i].bank != bank) {
         return false;
     }
-    open_ns = t;
-    t += tck_ns_;
+    open_ps = t;
+    t += tck_ps_;
     ++i;
     while (i < end && (instrs[i].op == Opcode::Nop ||
                        instrs[i].op == Opcode::SleepNs)) {
         t += instrs[i].op == Opcode::Nop
-                 ? double(instrs[i].count) * tck_ns_
-                 : instrs[i].ns;
+                 ? int64_t(instrs[i].count) * tck_ps_
+                 : instrs[i].ps;
         ++i;
     }
     if (i != end)
         return false;
-    period_ns = t;
+    period_ps = t;
     return true;
 }
 
@@ -206,7 +208,7 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
             ++i;
             break;
           case Opcode::SleepNs:
-            now_ps_ += psFromNs(ins.ns);
+            now_ps_ += ins.ps;
             ++i;
             break;
           case Opcode::LoopBegin: {
@@ -226,17 +228,17 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
 
             dram::BankId bank;
             dram::RowAddr row;
-            double open_ns, period_ns;
+            int64_t open_ps, period_ps;
             if (matchHammerBody(instrs, i + 1, body_end, bank, row,
-                                open_ns, period_ns)) {
+                                open_ps, period_ps)) {
                 const uint64_t count = ins.count;
                 const dram::NanoTime start = now();
-                // The last PRE is issued open_ns into the final
+                // The last PRE is issued open_ps into the final
                 // iteration, not at the loop end.  Integer ps math:
                 // the clock advances by exactly count * period.
                 const double start_ns = nowNsF();
-                const int64_t open_ps = psFromNs(open_ns);
-                const int64_t period_ps = psFromNs(period_ns);
+                const double open_ns = double(open_ps) / 1000.0;
+                const double period_ns = double(period_ps) / 1000.0;
                 const auto last_pre = dram::NanoTime(
                     (now_ps_ + int64_t(count - 1) * period_ps + open_ps) /
                     1000);
@@ -261,10 +263,40 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
     }
 }
 
+void
+Host::preflight(const Program &prog)
+{
+    const auto report = lint::lint(prog, config());
+    const size_t errors = report.count(lint::Severity::Error);
+    const size_t warnings = report.count(lint::Severity::Warning);
+    if (metrics_) {
+        metrics_->counter("lint.programs").add();
+        metrics_->counter("lint.errors").add(errors);
+        metrics_->counter("lint.warnings").add(warnings);
+    }
+    for (const auto &d : report.diags) {
+        // Unbalanced loops break the executor itself: always fatal,
+        // exactly as Program::validate() would have been.
+        if (d.rule == lint::Rule::UnbalancedLoop)
+            fatal("Program: " + d.message);
+        if (d.severity != lint::Severity::Error)
+            continue;
+        const std::string msg = "lint: [" + std::string(ruleId(d.rule)) +
+                                "] slot " + std::to_string(d.slot) +
+                                ": " + d.message;
+        if (lint_mode_ == lint::Mode::Error)
+            fatal(msg);
+        warn(msg);
+    }
+}
+
 ExecResult
 Host::run(const Program &prog)
 {
-    prog.validate();
+    if (lint_mode_ != lint::Mode::Off)
+        preflight(prog);
+    else
+        prog.validate();
     ExecResult result;
     result.startNs = now();
     execRange(prog.instrs(), 0, prog.instrs().size(), result);
@@ -274,19 +306,123 @@ Host::run(const Program &prog)
     return result;
 }
 
-void
-Host::writeRow(dram::BankId b, dram::RowAddr row,
-               const std::vector<uint64_t> &cols)
+Program
+Host::makeWriteRowProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                          dram::RowAddr row,
+                          const std::vector<uint64_t> &cols)
 {
-    const auto &t = config().timing;
-    fatalIf(cols.size() != config().columnsPerRow(),
-            "writeRow: column count mismatch");
+    const auto &t = cfg.timing;
     Program p;
     p.act(b, row).sleepNs(t.tRcdNs);
     for (dram::ColAddr c = 0; c < cols.size(); ++c)
         p.wr(b, c, cols[c]);
     p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
-    run(p);
+    return p;
+}
+
+Program
+Host::makeReadRowProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                         dram::RowAddr row)
+{
+    const auto &t = cfg.timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (dram::ColAddr c = 0; c < cfg.columnsPerRow(); ++c)
+        p.rd(b, c);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    return p;
+}
+
+Program
+Host::makeWriteColumnsProgram(const dram::DeviceConfig &cfg,
+                              dram::BankId b, dram::RowAddr row,
+                              const std::vector<dram::ColAddr> &cols,
+                              uint64_t rd_data)
+{
+    const auto &t = cfg.timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (const auto c : cols)
+        p.wr(b, c, rd_data);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    return p;
+}
+
+Program
+Host::makeReadColumnsProgram(const dram::DeviceConfig &cfg,
+                             dram::BankId b, dram::RowAddr row,
+                             const std::vector<dram::ColAddr> &cols)
+{
+    const auto &t = cfg.timing;
+    Program p;
+    p.act(b, row).sleepNs(t.tRcdNs);
+    for (const auto c : cols)
+        p.rd(b, c);
+    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
+    return p;
+}
+
+Program
+Host::makeHammerProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                        dram::RowAddr row, uint64_t count, double open_ns)
+{
+    const auto &t = cfg.timing;
+    // The close interval honours tRP and, for short open times, pads
+    // up to tRC so an ACT-to-ACT period never goes out of spec: a
+    // tAggON probe deliberately shortens the open (restore) time, not
+    // the activation rate.  For open_ns >= tRC - tCK - tRP (every
+    // in-tree caller) this is exactly tRP.
+    const double close_ns =
+        std::max(t.tRpNs, t.tRcNs() - open_ns - t.tCkNs);
+    Program p;
+    p.loopBegin(count)
+        .act(b, row)
+        .sleepNs(open_ns - t.tCkNs)
+        .pre(b)
+        .sleepNs(close_ns)
+        .loopEnd();
+    // Sub-tRAS open times (tAggON probes) are a deliberate choice of
+    // the experiment, not a slip.
+    if (open_ns < t.tRasNs)
+        p.expectViolation(lint::Rule::TRas);
+    return p;
+}
+
+Program
+Host::makeRowCopyProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                         dram::RowAddr src, dram::RowAddr dst)
+{
+    const auto &t = cfg.timing;
+    Program p;
+    p.act(b, src)
+        .sleepNs(t.tRasNs)
+        .pre(b)
+        .sleepNs(1.0)  // Way inside tRP: bitlines still hold src.
+        .act(b, dst)
+        .sleepNs(t.tRasNs)
+        .pre(b)
+        .sleepNs(t.tRpNs);
+    // The whole point of RowCopy: the second ACT lands inside tRP
+    // (and therefore inside tRC of the first ACT).
+    p.expectViolation(lint::Rule::TRp).expectViolation(lint::Rule::TRc);
+    return p;
+}
+
+Program
+Host::makeRefreshProgram(const dram::DeviceConfig &cfg)
+{
+    Program p;
+    p.ref().sleepNs(cfg.timing.tRfcNs);
+    return p;
+}
+
+void
+Host::writeRow(dram::BankId b, dram::RowAddr row,
+               const std::vector<uint64_t> &cols)
+{
+    fatalIf(cols.size() != config().columnsPerRow(),
+            "writeRow: column count mismatch");
+    run(makeWriteRowProgram(config(), b, row, cols));
 }
 
 void
@@ -301,38 +437,20 @@ Host::writeColumns(dram::BankId b, dram::RowAddr row,
                    const std::vector<dram::ColAddr> &cols,
                    uint64_t rd_data)
 {
-    const auto &t = config().timing;
-    Program p;
-    p.act(b, row).sleepNs(t.tRcdNs);
-    for (const auto c : cols)
-        p.wr(b, c, rd_data);
-    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
-    run(p);
+    run(makeWriteColumnsProgram(config(), b, row, cols, rd_data));
 }
 
 std::vector<uint64_t>
 Host::readColumns(dram::BankId b, dram::RowAddr row,
                   const std::vector<dram::ColAddr> &cols)
 {
-    const auto &t = config().timing;
-    Program p;
-    p.act(b, row).sleepNs(t.tRcdNs);
-    for (const auto c : cols)
-        p.rd(b, c);
-    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
-    return run(p).reads;
+    return run(makeReadColumnsProgram(config(), b, row, cols)).reads;
 }
 
 std::vector<uint64_t>
 Host::readRow(dram::BankId b, dram::RowAddr row)
 {
-    const auto &t = config().timing;
-    Program p;
-    p.act(b, row).sleepNs(t.tRcdNs);
-    for (dram::ColAddr c = 0; c < config().columnsPerRow(); ++c)
-        p.rd(b, c);
-    p.sleepNs(t.tRasNs).pre(b).sleepNs(t.tRpNs);
-    return run(p).reads;
+    return run(makeReadRowProgram(config(), b, row)).reads;
 }
 
 BitVec
@@ -368,15 +486,7 @@ ExecResult
 Host::hammer(dram::BankId b, dram::RowAddr row, uint64_t count,
              double open_ns)
 {
-    const auto &t = config().timing;
-    Program p;
-    p.loopBegin(count)
-        .act(b, row)
-        .sleepNs(open_ns - tck_ns_)
-        .pre(b)
-        .sleepNs(t.tRpNs)
-        .loopEnd();
-    return run(p);
+    return run(makeHammerProgram(config(), b, row, count, open_ns));
 }
 
 ExecResult
@@ -389,26 +499,13 @@ Host::press(dram::BankId b, dram::RowAddr row, uint64_t count,
 ExecResult
 Host::rowCopy(dram::BankId b, dram::RowAddr src, dram::RowAddr dst)
 {
-    const auto &t = config().timing;
-    Program p;
-    p.act(b, src)
-        .sleepNs(t.tRasNs)
-        .pre(b)
-        .sleepNs(1.0)  // Way inside tRP: bitlines still hold src.
-        .act(b, dst)
-        .sleepNs(t.tRasNs)
-        .pre(b)
-        .sleepNs(t.tRpNs);
-    return run(p);
+    return run(makeRowCopyProgram(config(), b, src, dst));
 }
 
 ExecResult
 Host::refresh()
 {
-    const auto &t = config().timing;
-    Program p;
-    p.ref().sleepNs(t.tRfcNs);
-    return run(p);
+    return run(makeRefreshProgram(config()));
 }
 
 } // namespace bender

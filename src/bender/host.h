@@ -22,6 +22,7 @@
 #include <cmath>
 #include <vector>
 
+#include "bender/lint.h"
 #include "bender/program.h"
 #include "bender/trace.h"
 #include "dram/device.h"
@@ -60,8 +61,69 @@ class Host
      * Executes a program.  Loops whose body is a constant-address
      * ACT..PRE kernel run through the device's bulk fast path; all
      * other programs execute slot by slot.
+     *
+     * When the environment selects a lint mode (DRAMSCOPE_LINT=warn
+     * or =error, read once at Host construction), every program is
+     * statically analyzed before it executes: unexpected violations
+     * are logged (warn) or fatal (error), and lint.programs /
+     * lint.errors / lint.warnings counters are updated on an
+     * attached metrics registry.  See bender/lint.h.
      */
     ExecResult run(const Program &prog);
+
+    /// @name Program factories.
+    /// The exact programs the convenience operations below execute,
+    /// exposed so the linter, the CLI `lint` subcommand, and tests
+    /// can analyze them without a device.  Deliberately out-of-spec
+    /// steps carry expectViolation() annotations here — the single
+    /// place where intent is declared.
+    /// @{
+
+    /** ACT, tRCD, one WR per entry of @p cols, tRAS, PRE, tRP. */
+    static Program makeWriteRowProgram(const dram::DeviceConfig &cfg,
+                                       dram::BankId b, dram::RowAddr row,
+                                       const std::vector<uint64_t> &cols);
+
+    /** ACT, tRCD, one RD per column of the row, tRAS, PRE, tRP. */
+    static Program makeReadRowProgram(const dram::DeviceConfig &cfg,
+                                      dram::BankId b, dram::RowAddr row);
+
+    /** writeRow restricted to @p cols (all written as @p rd_data). */
+    static Program
+    makeWriteColumnsProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                            dram::RowAddr row,
+                            const std::vector<dram::ColAddr> &cols,
+                            uint64_t rd_data);
+
+    /** readRow restricted to @p cols. */
+    static Program
+    makeReadColumnsProgram(const dram::DeviceConfig &cfg, dram::BankId b,
+                           dram::RowAddr row,
+                           const std::vector<dram::ColAddr> &cols);
+
+    /**
+     * @p count ACT..PRE pairs with @p open_ns of open time.  Opens
+     * shorter than tRAS are a deliberate probe and annotated as an
+     * expected tRAS violation; the paper-default 35 ns hammer and
+     * 7.8 us press kernels are fully in spec and carry none.
+     */
+    static Program makeHammerProgram(const dram::DeviceConfig &cfg,
+                                     dram::BankId b, dram::RowAddr row,
+                                     uint64_t count, double open_ns);
+
+    /**
+     * The RowCopy kernel: ACT @p src, PRE, then ACT @p dst inside
+     * tRP so the bitlines charge-share into @p dst.  Annotated as an
+     * expected tRP + tRC violation — that *is* the operation.
+     */
+    static Program makeRowCopyProgram(const dram::DeviceConfig &cfg,
+                                      dram::BankId b, dram::RowAddr src,
+                                      dram::RowAddr dst);
+
+    /** REF followed by tRFC. */
+    static Program makeRefreshProgram(const dram::DeviceConfig &cfg);
+
+    /// @}
 
     /// @name Convenience operations (legal timing auto-inserted).
     /// @{
@@ -187,12 +249,22 @@ class Host
 
     /**
      * Detects a constant-address hammer kernel body.  On success sets
-     * the bank/row/open-time/period outputs.
+     * the bank/row outputs and the open-time/period in integer
+     * picoseconds (summed from the slots' stored integers, so the
+     * bulk path advances the clock exactly like slot-by-slot
+     * execution would).
      */
     bool matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
                          size_t end, dram::BankId &bank,
-                         dram::RowAddr &row, double &open_ns,
-                         double &period_ns) const;
+                         dram::RowAddr &row, int64_t &open_ps,
+                         int64_t &period_ps) const;
+
+    /**
+     * Lints @p prog before execution (mode Warn or Error): updates
+     * lint counters on an attached registry, logs or fatal()s on
+     * unexpected findings.
+     */
+    void preflight(const Program &prog);
 
     /** True when any observability consumer is attached. */
     bool observing() const { return metrics_ != nullptr || trace_ != nullptr; }
@@ -219,7 +291,7 @@ class Host
     dram::Device &dev_;
     int64_t now_ps_ = 1'000'000;  //!< Start past 0 to keep gaps positive.
     int64_t tck_ps_;
-    double tck_ns_;
+    lint::Mode lint_mode_;  //!< Pre-flight mode (env, read once).
 
     obs::MetricsRegistry *metrics_ = nullptr;
     obs::TraceSink *trace_ = nullptr;

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * The Bender program linter: structural pass + abstract timing
+ * interpreter.  See bender/lint.h for the model.
+ */
+
+#include "bender/lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "util/log.h"
+
+namespace dramscope {
+namespace bender {
+namespace lint {
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    static const std::vector<RuleInfo> table = {
+#define X(name, id, sev, summary) \
+    {Rule::name, id, Severity::sev, summary},
+        DRAMSCOPE_LINT_RULES(X)
+#undef X
+    };
+    return table;
+}
+
+size_t
+ruleCount()
+{
+    return ruleTable().size();
+}
+
+const RuleInfo &
+ruleInfo(Rule rule)
+{
+    const auto idx = size_t(rule);
+    panicIf(idx >= ruleTable().size(), "lint: rule out of range");
+    return ruleTable()[idx];
+}
+
+const char *
+ruleId(Rule rule)
+{
+    return ruleInfo(rule).id;
+}
+
+const char *
+toString(Severity sev)
+{
+    switch (sev) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+size_t
+Report::count(Severity sev) const
+{
+    size_t n = 0;
+    for (const auto &d : diags) {
+        if (d.severity == sev)
+            ++n;
+    }
+    return n;
+}
+
+Mode
+modeFromEnv()
+{
+    const char *env = std::getenv("DRAMSCOPE_LINT");
+    if (env == nullptr)
+        return Mode::Off;
+    if (std::strcmp(env, "warn") == 0)
+        return Mode::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return Mode::Error;
+    return Mode::Off;
+}
+
+namespace {
+
+/** Formats a picosecond quantity as "12.345 ns". */
+std::string
+fmtNs(int64_t ps)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f ns", double(ps) / 1000.0);
+    return buf;
+}
+
+/**
+ * The abstract interpreter.  Tracks a symbolic integer-picosecond
+ * clock and a per-bank FSM through the program; loop bodies have
+ * constant duration, so after a few simulated iterations the rest of
+ * a loop is fast-forwarded arithmetically (timestamps written inside
+ * the loop shift with the clock; pre-loop timestamps stay absolute).
+ */
+class Interp
+{
+  public:
+    Interp(const Program &prog, const dram::DeviceConfig &cfg,
+           Report &report)
+        : instrs_(prog.instrs()), cfg_(cfg),
+          report_(report), tck_ps_(ps(cfg.timing.tCkNs)),
+          trcd_ps_(ps(cfg.timing.tRcdNs)), tras_ps_(ps(cfg.timing.tRasNs)),
+          trp_ps_(ps(cfg.timing.tRpNs)), trc_ps_(ps(cfg.timing.tRcNs())),
+          trrd_ps_(ps(cfg.timing.tRrdNs)), tfaw_ps_(ps(cfg.timing.tFawNs)),
+          banks_(cfg.numBanks)
+    {
+        // Structural findings are already in the report; never emit
+        // the same (rule, slot) twice.
+        for (const auto &d : report_.diags)
+            seen_.insert({uint8_t(d.rule), d.slot});
+    }
+
+    void
+    run()
+    {
+        walk(0, instrs_.size());
+        report_.durationPs = clock_ps_;
+        finishOpenAtEnd();
+        finishRefreshBudget();
+    }
+
+  private:
+    /**
+     * Iterations of a loop simulated slot-by-slot before fast-
+     * forwarding: enough for every cross-iteration pattern the rules
+     * can see (tail-to-head spacing needs 2, the four-ACT tFAW
+     * window needs 5) to reach steady state.
+     */
+    static constexpr uint64_t kSimIters = 6;
+
+    static int64_t
+    ps(double ns)
+    {
+        return int64_t(std::llround(ns * 1000.0));
+    }
+
+    struct BankState
+    {
+        bool open = false;
+        dram::RowAddr openRow = 0;
+        size_t openSlot = 0;     //!< Slot of the opening ACT.
+        int64_t lastActPs = -1;  //!< Issue time of the last ACT.
+        int64_t lastPrePs = -1;  //!< Issue time of the last PRE.
+    };
+
+    void
+    diag(Rule rule, size_t slot, std::string msg)
+    {
+        if (!seen_.insert({uint8_t(rule), slot}).second)
+            return;
+        report_.diags.push_back({rule, ruleInfo(rule).severity, slot,
+                                 false, clock_ps_, std::move(msg)});
+    }
+
+    void
+    onAct(const Instr &ins, size_t slot)
+    {
+        const int64_t t = clock_ps_;
+        auto &bank = banks_[ins.bank];
+        if (bank.open) {
+            diag(Rule::ActOpen, slot,
+                 "ACT bank " + std::to_string(ins.bank) + " row " +
+                     std::to_string(ins.row) + ": row " +
+                     std::to_string(bank.openRow) + " is still open");
+        } else if (bank.lastPrePs >= 0 && t - bank.lastPrePs < trp_ps_) {
+            diag(Rule::TRp, slot,
+                 "ACT bank " + std::to_string(ins.bank) + " row " +
+                     std::to_string(ins.row) + ": " +
+                     fmtNs(t - bank.lastPrePs) + " since PRE, tRP is " +
+                     fmtNs(trp_ps_));
+        }
+        if (bank.lastActPs >= 0 && t - bank.lastActPs < trc_ps_) {
+            diag(Rule::TRc, slot,
+                 "ACT bank " + std::to_string(ins.bank) + ": " +
+                     fmtNs(t - bank.lastActPs) +
+                     " since the previous same-bank ACT, tRC is " +
+                     fmtNs(trc_ps_));
+        }
+        if (last_act_any_ps_ >= 0 && t - last_act_any_ps_ < trrd_ps_) {
+            diag(Rule::TRrd, slot,
+                 "ACT bank " + std::to_string(ins.bank) + ": " +
+                     fmtNs(t - last_act_any_ps_) +
+                     " since the previous ACT, tRRD is " +
+                     fmtNs(trrd_ps_));
+        }
+        if (faw_.size() == 4 && t - faw_.front() < tfaw_ps_) {
+            diag(Rule::TFaw, slot,
+                 "ACT bank " + std::to_string(ins.bank) +
+                     ": fifth ACT " + fmtNs(t - faw_.front()) +
+                     " after the fourth-most-recent one, tFAW is " +
+                     fmtNs(tfaw_ps_));
+        }
+        faw_.push_back(t);
+        if (faw_.size() > 4)
+            faw_.pop_front();
+        last_act_any_ps_ = t;
+        bank.lastActPs = t;
+        bank.open = true;
+        bank.openRow = ins.row;
+        bank.openSlot = slot;
+    }
+
+    void
+    onPre(const Instr &ins, size_t slot)
+    {
+        auto &bank = banks_[ins.bank];
+        if (bank.open && clock_ps_ - bank.lastActPs < tras_ps_) {
+            diag(Rule::TRas, slot,
+                 "PRE bank " + std::to_string(ins.bank) + ": " +
+                     fmtNs(clock_ps_ - bank.lastActPs) +
+                     " since ACT, tRAS is " + fmtNs(tras_ps_));
+        }
+        bank.open = false;
+        bank.lastPrePs = clock_ps_;
+    }
+
+    void
+    onRw(const Instr &ins, size_t slot, const char *verb)
+    {
+        auto &bank = banks_[ins.bank];
+        if (!bank.open) {
+            diag(Rule::RwClosed, slot,
+                 std::string(verb) + " bank " + std::to_string(ins.bank) +
+                     " col " + std::to_string(ins.col) +
+                     ": bank is precharged (no open row)");
+        } else if (clock_ps_ - bank.lastActPs < trcd_ps_) {
+            diag(Rule::TRcd, slot,
+                 std::string(verb) + " bank " + std::to_string(ins.bank) +
+                     " col " + std::to_string(ins.col) + ": " +
+                     fmtNs(clock_ps_ - bank.lastActPs) +
+                     " since ACT, tRCD is " + fmtNs(trcd_ps_));
+        }
+    }
+
+    void
+    onRef(size_t slot)
+    {
+        for (size_t b = 0; b < banks_.size(); ++b) {
+            if (banks_[b].open) {
+                diag(Rule::RefOpen, slot,
+                     "REF: bank " + std::to_string(b) + " row " +
+                         std::to_string(banks_[b].openRow) +
+                         " is still open");
+                break;
+            }
+        }
+        ++report_.refCount;
+    }
+
+    /**
+     * Fast-forwards the interpreter state over @p skipped further
+     * identical loop iterations of duration @p iter_ps that issued
+     * @p iter_cmds commands and @p iter_refs REFs each.  Timestamps
+     * written at or after @p loop_start_ps belong to the loop and
+     * shift with the clock; older ones are absolute and stay.
+     */
+    void
+    fastForward(uint64_t skipped, int64_t iter_ps, uint64_t iter_cmds,
+                uint64_t iter_refs, int64_t loop_start_ps)
+    {
+        const int64_t shift = int64_t(skipped) * iter_ps;
+        const auto shifted = [&](int64_t ts) {
+            return ts >= loop_start_ps ? ts + shift : ts;
+        };
+        clock_ps_ += shift;
+        report_.commandCount += skipped * iter_cmds;
+        report_.refCount += skipped * iter_refs;
+        for (auto &bank : banks_) {
+            if (bank.lastActPs >= 0)
+                bank.lastActPs = shifted(bank.lastActPs);
+            if (bank.lastPrePs >= 0)
+                bank.lastPrePs = shifted(bank.lastPrePs);
+        }
+        if (last_act_any_ps_ >= 0)
+            last_act_any_ps_ = shifted(last_act_any_ps_);
+        for (auto &ts : faw_)
+            ts = shifted(ts);
+    }
+
+    /** Interprets slots [begin, end) once. */
+    void
+    walk(size_t begin, size_t end)
+    {
+        size_t i = begin;
+        while (i < end) {
+            const Instr &ins = instrs_[i];
+            switch (ins.op) {
+              case Opcode::Act:
+                onAct(ins, i);
+                ++report_.commandCount;
+                clock_ps_ += tck_ps_;
+                ++i;
+                break;
+              case Opcode::Pre:
+                onPre(ins, i);
+                ++report_.commandCount;
+                clock_ps_ += tck_ps_;
+                ++i;
+                break;
+              case Opcode::Rd:
+                onRw(ins, i, "RD");
+                ++report_.commandCount;
+                clock_ps_ += tck_ps_;
+                ++i;
+                break;
+              case Opcode::Wr:
+                onRw(ins, i, "WR");
+                ++report_.commandCount;
+                clock_ps_ += tck_ps_;
+                ++i;
+                break;
+              case Opcode::Ref:
+                onRef(i);
+                ++report_.commandCount;
+                clock_ps_ += tck_ps_;
+                ++i;
+                break;
+              case Opcode::Nop:
+                clock_ps_ += int64_t(ins.count) * tck_ps_;
+                ++i;
+                break;
+              case Opcode::SleepNs:
+                clock_ps_ += ins.ps;
+                ++i;
+                break;
+              case Opcode::LoopBegin: {
+                size_t depth = 1;
+                size_t body_end = i + 1;
+                while (body_end < end && depth > 0) {
+                    if (instrs_[body_end].op == Opcode::LoopBegin)
+                        ++depth;
+                    else if (instrs_[body_end].op == Opcode::LoopEnd)
+                        --depth;
+                    if (depth == 0)
+                        break;
+                    ++body_end;
+                }
+                // Unbalanced structure is reported by the structural
+                // pass; lint() skips the timing walk entirely then.
+                panicIf(depth != 0, "lint: unbalanced loop in walk");
+
+                const int64_t loop_start_ps = clock_ps_;
+                const uint64_t sim = std::min(ins.count, kSimIters);
+                int64_t iter_ps = 0;
+                uint64_t iter_cmds = 0;
+                uint64_t iter_refs = 0;
+                for (uint64_t k = 0; k < sim; ++k) {
+                    const int64_t t0 = clock_ps_;
+                    const uint64_t c0 = report_.commandCount;
+                    const uint64_t r0 = report_.refCount;
+                    walk(i + 1, body_end);
+                    iter_ps = clock_ps_ - t0;
+                    iter_cmds = report_.commandCount - c0;
+                    iter_refs = report_.refCount - r0;
+                }
+                if (ins.count > sim) {
+                    fastForward(ins.count - sim, iter_ps, iter_cmds,
+                                iter_refs, loop_start_ps);
+                }
+                i = body_end + 1;
+                break;
+              }
+              case Opcode::LoopEnd:
+                panic("lint: stray LoopEnd in walk");
+            }
+        }
+    }
+
+    void
+    finishOpenAtEnd()
+    {
+        for (size_t b = 0; b < banks_.size(); ++b) {
+            if (banks_[b].open) {
+                diag(Rule::OpenAtEnd, banks_[b].openSlot,
+                     "bank " + std::to_string(b) + " row " +
+                         std::to_string(banks_[b].openRow) +
+                         " is still open at program end");
+            }
+        }
+    }
+
+    void
+    finishRefreshBudget()
+    {
+        const int64_t window_ps =
+            int64_t(std::llround(cfg_.timing.refreshWindowMs * 1.0e9));
+        if (report_.durationPs <= window_ps)
+            return;
+        const double duration_ns = double(report_.durationPs) / 1000.0;
+        const auto needed =
+            uint64_t(duration_ns / cfg_.timing.tRefiNs);
+        if (report_.refCount >= needed)
+            return;
+        diag(Rule::RefreshBudget, 0,
+             "program spans " + fmtNs(report_.durationPs) +
+                 " (> tREFW of " + fmtNs(window_ps) + ") but issues " +
+                 std::to_string(report_.refCount) + " REF(s); ~" +
+                 std::to_string(needed) +
+                 " needed to keep every row refreshed");
+    }
+
+    const std::vector<Instr> &instrs_;
+    const dram::DeviceConfig &cfg_;
+    Report &report_;
+
+    const int64_t tck_ps_, trcd_ps_, tras_ps_, trp_ps_, trc_ps_;
+    const int64_t trrd_ps_, tfaw_ps_;
+
+    int64_t clock_ps_ = 0;
+    std::vector<BankState> banks_;
+    int64_t last_act_any_ps_ = -1;
+    std::deque<int64_t> faw_;  //!< Issue times of the last 4 ACTs.
+    std::set<std::pair<uint8_t, size_t>> seen_;
+};
+
+/**
+ * Demotes diagnostics covered by expectViolation() to expected notes
+ * and flags annotations that never fired.
+ */
+void
+applyExpectations(const Program &prog, Report &report)
+{
+    for (const auto rule : prog.expectedViolations()) {
+        bool fired = false;
+        for (auto &d : report.diags) {
+            if (d.rule == rule) {
+                d.severity = Severity::Note;
+                d.expected = true;
+                fired = true;
+            }
+        }
+        if (!fired) {
+            report.diags.push_back(
+                {Rule::StaleExpectation,
+                 ruleInfo(Rule::StaleExpectation).severity, 0, false, 0,
+                 std::string("expectViolation(") + ruleId(rule) +
+                     ") matched no diagnostic"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+structuralDiagnostics(const Program &prog)
+{
+    std::vector<Diagnostic> diags;
+    const auto &instrs = prog.instrs();
+    std::vector<std::pair<size_t, uint64_t>> stack;  // (slot, count).
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (instrs[i].op == Opcode::LoopBegin) {
+            stack.emplace_back(i, instrs[i].count);
+        } else if (instrs[i].op == Opcode::LoopEnd) {
+            if (stack.empty()) {
+                diags.push_back(
+                    {Rule::UnbalancedLoop, Severity::Error, i, false, 0,
+                     "unbalanced loops: LoopEnd at slot " +
+                         std::to_string(i) + " has no LoopBegin"});
+                continue;
+            }
+            const auto [begin, count] = stack.back();
+            stack.pop_back();
+            if (count == 0) {
+                diags.push_back(
+                    {Rule::ZeroLoop, Severity::Warning, begin, false, 0,
+                     "loop at slot " + std::to_string(begin) +
+                         " has a zero iteration count"});
+                if (i > begin + 1) {
+                    diags.push_back(
+                        {Rule::DeadCode, Severity::Warning, begin + 1,
+                         false, 0,
+                         "slots " + std::to_string(begin + 1) + ".." +
+                             std::to_string(i - 1) +
+                             " never execute (zero-count loop body)"});
+                }
+            }
+        }
+    }
+    for (const auto &[begin, count] : stack) {
+        (void)count;
+        diags.push_back(
+            {Rule::UnbalancedLoop, Severity::Error, begin, false, 0,
+             "unbalanced loops: LoopBegin at slot " +
+                 std::to_string(begin) + " is never closed"});
+    }
+    return diags;
+}
+
+Report
+lint(const Program &prog, const dram::DeviceConfig &cfg)
+{
+    Report report;
+    report.diags = structuralDiagnostics(prog);
+
+    bool unbalanced = false;
+    for (const auto &d : report.diags)
+        unbalanced = unbalanced || d.rule == Rule::UnbalancedLoop;
+    if (!unbalanced)
+        Interp(prog, cfg, report).run();
+
+    applyExpectations(prog, report);
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.slot < b.slot;
+                     });
+    return report;
+}
+
+} // namespace lint
+} // namespace bender
+} // namespace dramscope

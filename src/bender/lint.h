@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Static analyzer for Bender command programs (`bender::lint`).
+ *
+ * DRAMScope's methodology is to issue *deliberately* out-of-spec
+ * command sequences (RowCopy's ACT inside tRP) while keeping every
+ * other timing in spec — an accidental slip silently corrupts a
+ * characterization run and is only discovered after execution, from
+ * the device's violation log or from garbage figures.  The linter is
+ * the missing pre-flight tool: an abstract interpreter that walks a
+ * Program *without executing it*, tracking a symbolic integer-
+ * picosecond clock and a per-bank FSM (closed / open) through loop
+ * bodies, and proves the program's timing intent up front.
+ *
+ * Intent is expressed with Program::expectViolation(Rule): a builder
+ * that means to break tRP says so, the matching diagnostics demote to
+ * expected notes, and the program lints clean — while the same slip
+ * in an unannotated program stays an error.  Annotations that never
+ * fire are flagged too (stale-expectation), so they cannot rot.
+ *
+ * Loop bodies have constant duration (the ISA has no data-dependent
+ * timing), so the interpreter simulates the first few iterations of
+ * every loop — enough for cross-iteration effects (loop tail to head
+ * spacing, the four-ACT tFAW window) to reach steady state — then
+ * advances the clock and per-bank timestamps arithmetically for the
+ * rest.  Linting a 300K-iteration hammer costs the same as linting
+ * four iterations; duplicate (rule, slot) findings collapse to one.
+ *
+ * The rule set is defined once in DRAMSCOPE_LINT_RULES below; the
+ * table in docs/LINT_RULES.md is machine-checked against it by
+ * tools/check_docs.py (the same treatment as the O1-O14 map).
+ */
+
+#ifndef DRAMSCOPE_BENDER_LINT_H
+#define DRAMSCOPE_BENDER_LINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/config.h"
+
+namespace dramscope {
+namespace bender {
+namespace lint {
+
+/** Diagnostic severities, weakest first. */
+enum class Severity : uint8_t
+{
+    Note,     //!< Expected (annotated) violation; informational.
+    Warning,  //!< Suspicious but executable (zero loops, budget).
+    Error,    //!< Unannotated spec violation or structural break.
+};
+
+/**
+ * The rule registry: X(enumerator, "rule-id", DefaultSeverity,
+ * "summary").  tools/check_docs.py parses these entries and requires
+ * docs/LINT_RULES.md to list exactly this set with these severities.
+ */
+#define DRAMSCOPE_LINT_RULES(X)                                             \
+    X(TRcd, "trcd", Error,                                                  \
+      "RD/WR issued before tRCD has elapsed after the bank's ACT")          \
+    X(TRp, "trp", Error,                                                    \
+      "ACT issued before tRP has elapsed after the bank's PRE")             \
+    X(TRas, "tras", Error,                                                  \
+      "PRE issued before tRAS has elapsed after the bank's ACT")            \
+    X(TRc, "trc", Error,                                                    \
+      "same-bank ACT-to-ACT interval shorter than tRC (tRAS + tRP)")        \
+    X(TRrd, "trrd", Error,                                                  \
+      "any-bank ACT-to-ACT interval shorter than tRRD")                     \
+    X(TFaw, "tfaw", Error,                                                  \
+      "more than four ACTs issued inside one tFAW window")                  \
+    X(ActOpen, "act-open", Error,                                           \
+      "ACT issued while the bank already has an open row")                  \
+    X(RwClosed, "rw-closed", Error,                                         \
+      "RD/WR issued while the bank is precharged (no open row)")            \
+    X(RefOpen, "ref-open", Error,                                           \
+      "REF issued while at least one bank has an open row")                 \
+    X(UnbalancedLoop, "unbalanced-loop", Error,                             \
+      "LoopBegin and LoopEnd slots do not match up")                        \
+    X(ZeroLoop, "zero-loop", Warning,                                       \
+      "loop has a zero iteration count and never runs")                     \
+    X(DeadCode, "dead-code", Warning,                                       \
+      "command slots can never execute (zero-count loop body)")             \
+    X(OpenAtEnd, "open-at-end", Warning,                                    \
+      "program ends with a row still open (missing final PRE)")             \
+    X(RefreshBudget, "refresh-budget", Warning,                             \
+      "program spans more than tREFW with too few REFs to stay "            \
+      "within the refresh budget")                                          \
+    X(StaleExpectation, "stale-expectation", Warning,                       \
+      "expectViolation() annotation matched no diagnostic")
+
+/** Rule ids (underlying type matches the forward decl in program.h). */
+enum class Rule : uint8_t
+{
+#define X(name, id, sev, summary) name,
+    DRAMSCOPE_LINT_RULES(X)
+#undef X
+};
+
+/** Number of distinct rules. */
+size_t ruleCount();
+
+/** Static description of one rule. */
+struct RuleInfo
+{
+    Rule rule;
+    const char *id;        //!< Stable kebab-case identifier.
+    Severity severity;     //!< Default severity before demotion.
+    const char *summary;   //!< One-line description (doc table).
+};
+
+/** The full registry, indexed by Rule enumerator order. */
+const std::vector<RuleInfo> &ruleTable();
+
+/** Registry entry for @p rule. */
+const RuleInfo &ruleInfo(Rule rule);
+
+/** Stable identifier of @p rule ("trp", "zero-loop", ...). */
+const char *ruleId(Rule rule);
+
+/** Pretty name of @p severity ("note", "warning", "error"). */
+const char *toString(Severity sev);
+
+/** One finding of the analyzer. */
+struct Diagnostic
+{
+    Rule rule;
+    Severity severity;  //!< After demotion of expected violations.
+    size_t slot;        //!< Program slot index the finding anchors to.
+    bool expected = false;  //!< Covered by expectViolation().
+    int64_t atPs = 0;   //!< Symbolic program time of the finding.
+    std::string message;
+};
+
+/** Result of linting one program. */
+struct Report
+{
+    std::vector<Diagnostic> diags;
+
+    /** Symbolic duration of the whole program (loops expanded). */
+    int64_t durationPs = 0;
+
+    /** Commands issued when the program runs (loops expanded). */
+    uint64_t commandCount = 0;
+
+    /** REF commands issued (loops expanded). */
+    uint64_t refCount = 0;
+
+    /** Diagnostics at exactly @p sev. */
+    size_t count(Severity sev) const;
+
+    /** True when any unexpected Error-severity diagnostic remains. */
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+};
+
+/**
+ * Lints @p prog against the timing/geometry of @p cfg.  Never
+ * executes on a device and never fatal()s: structural breakage is
+ * reported as UnbalancedLoop diagnostics (the walk stops at the
+ * broken structure).
+ */
+Report lint(const Program &prog, const dram::DeviceConfig &cfg);
+
+/**
+ * Structure-only pass (no device config needed): loop balance,
+ * zero-count loops, dead code.  Program::validate() fatal()s on the
+ * Error entries of this list.
+ */
+std::vector<Diagnostic> structuralDiagnostics(const Program &prog);
+
+/** Pre-flight modes of bender::Host (env DRAMSCOPE_LINT). */
+enum class Mode : uint8_t
+{
+    Off,    //!< No pre-flight (default).
+    Warn,   //!< Lint every run(); log unexpected findings.
+    Error,  //!< Lint every run(); fatal() on unexpected errors.
+};
+
+/**
+ * Reads DRAMSCOPE_LINT from the environment: "warn" / "error"
+ * select the pre-flight mode, anything else (or unset) is Off.
+ */
+Mode modeFromEnv();
+
+} // namespace lint
+} // namespace bender
+} // namespace dramscope
+
+#endif // DRAMSCOPE_BENDER_LINT_H

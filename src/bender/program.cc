@@ -5,6 +5,9 @@
 
 #include "bender/program.h"
 
+#include <cmath>
+
+#include "bender/lint.h"
 #include "util/log.h"
 
 namespace dramscope {
@@ -78,7 +81,7 @@ Program::sleepNs(double ns)
 {
     Instr i;
     i.op = Opcode::SleepNs;
-    i.ns = ns;
+    i.ps = int64_t(std::llround(ns * 1000.0));
     instrs_.push_back(i);
     return *this;
 }
@@ -102,18 +105,20 @@ Program::loopEnd()
     return *this;
 }
 
+Program &
+Program::expectViolation(lint::Rule rule)
+{
+    expected_.push_back(rule);
+    return *this;
+}
+
 void
 Program::validate() const
 {
-    int depth = 0;
-    for (const auto &i : instrs_) {
-        if (i.op == Opcode::LoopBegin)
-            ++depth;
-        else if (i.op == Opcode::LoopEnd)
-            --depth;
-        fatalIf(depth < 0, "Program: LoopEnd without LoopBegin");
+    for (const auto &d : lint::structuralDiagnostics(*this)) {
+        if (d.severity == lint::Severity::Error)
+            fatal("Program: " + d.message);
     }
-    fatalIf(depth != 0, "Program: unbalanced loops");
 }
 
 } // namespace bender

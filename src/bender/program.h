@@ -6,7 +6,9 @@
  * (NOPs and sleeps) plus counted, nestable loops — the same
  * abstraction the FPGA infrastructure exposes.  Out-of-spec timing is
  * deliberately expressible; that is the whole point of the tool
- * (RowCopy needs an ACT issued inside tRP).
+ * (RowCopy needs an ACT issued inside tRP).  A builder that *means*
+ * to break a rule says so with expectViolation(), so the static
+ * linter (bender/lint.h) can tell intent from accident.
  */
 
 #ifndef DRAMSCOPE_BENDER_PROGRAM_H
@@ -20,6 +22,11 @@
 namespace dramscope {
 namespace bender {
 
+namespace lint {
+/** Lint rule ids; enumerators live in bender/lint.h. */
+enum class Rule : uint8_t;
+} // namespace lint
+
 /** Command opcodes of the mini-ISA. */
 enum class Opcode
 {
@@ -29,7 +36,7 @@ enum class Opcode
     Wr,         //!< Write (bank, col, data).
     Ref,        //!< Refresh (all banks).
     Nop,        //!< Wait count * tCK.
-    SleepNs,    //!< Wait an arbitrary number of nanoseconds.
+    SleepNs,    //!< Wait an arbitrary duration (stored as integer ps).
     LoopBegin,  //!< Repeat until matching LoopEnd, count times.
     LoopEnd,
 };
@@ -43,7 +50,15 @@ struct Instr
     dram::ColAddr col = 0;
     uint64_t data = 0;
     uint64_t count = 1;  //!< NOP cycles or loop iterations.
-    double ns = 0.0;     //!< SleepNs duration.
+
+    /**
+     * SleepNs duration in integer picoseconds, rounded once at build
+     * time.  Storing the rounded integer (rather than the double ns
+     * the builder was given) makes the executor's clock and the
+     * linter's symbolic clock agree exactly: both consume the same
+     * integer, so there is no second rounding to disagree on.
+     */
+    int64_t ps = 0;
 };
 
 /** Fluent builder for command programs. */
@@ -60,9 +75,30 @@ class Program
     Program &loopBegin(uint64_t count);
     Program &loopEnd();
 
+    /**
+     * Declares that this program deliberately violates @p rule
+     * (RowCopy's ACT inside tRP, hammer variants probing tRAS, ...).
+     * The linter demotes matching diagnostics to expected notes and
+     * treats the program as clean; unannotated violations stay
+     * errors.  Annotating a rule that never fires is itself flagged
+     * (stale-expectation), so annotations cannot rot silently.
+     */
+    Program &expectViolation(lint::Rule rule);
+
+    /** Rules this program declares it violates on purpose. */
+    const std::vector<lint::Rule> &expectedViolations() const
+    {
+        return expected_;
+    }
+
     const std::vector<Instr> &instrs() const { return instrs_; }
 
-    /** fatal()s when loops are unbalanced. */
+    /**
+     * fatal()s on structural errors (unbalanced loops).  Runs the
+     * linter's structural pass (lint::structuralDiagnostics) and
+     * reports the first error; warnings (zero-count loops, dead
+     * code) are left to the full linter.
+     */
     void validate() const;
 
     /** Number of slots (not expanded for loops). */
@@ -70,6 +106,7 @@ class Program
 
   private:
     std::vector<Instr> instrs_;
+    std::vector<lint::Rule> expected_;
 };
 
 } // namespace bender

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The built-in program catalog: every command program the toolkit's
+ * layers (Host convenience operations, characterization / attack
+ * suites, RE tools, protection controllers) issue, instantiated with
+ * their paper-default parameters for a given device configuration.
+ *
+ * The catalog is the contract behind "all built-in programs lint
+ * clean": `dramscope_cli lint` prints the linter's verdict for each
+ * entry, tests assert the exact expected-violation annotations
+ * (RowCopy flags tRP/tRC, hammer passes with none), and a new
+ * program builder added anywhere in the stack gets pre-flight
+ * coverage by adding one line here.
+ */
+
+#ifndef DRAMSCOPE_CORE_PROGRAMS_H
+#define DRAMSCOPE_CORE_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/config.h"
+
+namespace dramscope {
+namespace core {
+
+/** One catalog entry. */
+struct NamedProgram
+{
+    std::string name;      //!< Stable id, e.g. "rowcopy".
+    std::string origin;    //!< Layer that issues it, e.g. "re_subarray".
+    bender::Program prog;
+};
+
+/**
+ * Builds every built-in program for @p cfg with paper-default
+ * parameters (300K x 35ns hammer, 8K x 7.8us press, ...), addressed
+ * to rows that exist in @p cfg.
+ */
+std::vector<NamedProgram> builtinPrograms(const dram::DeviceConfig &cfg);
+
+/**
+ * Catalog entry named @p name; fatal()s on an unknown name (the
+ * valid names are listed in the message).
+ */
+NamedProgram builtinProgram(const dram::DeviceConfig &cfg,
+                            const std::string &name);
+
+} // namespace core
+} // namespace dramscope
+
+#endif // DRAMSCOPE_CORE_PROGRAMS_H

@@ -71,13 +71,14 @@ ProtectedMemory::ProtectedMemory(bender::Host &host, TrackerOptions opts)
 {
 }
 
-void
-ProtectedMemory::mitigate(dram::BankId bank, dram::RowAddr row)
+bender::Program
+ProtectedMemory::makeMitigationProgram(const dram::DeviceConfig &cfg,
+                                       dram::BankId bank,
+                                       dram::RowAddr row)
 {
     // Victim refresh: activating the logical neighbours restores
     // their cells.  The MC assumes +-1 logical adjacency (it cannot
     // know the internal remap or coupling unless told).
-    const auto &cfg = host_.config();
     bender::Program p;
     const auto &t = cfg.timing;
     for (const int d : {-1, +1}) {
@@ -89,7 +90,13 @@ ProtectedMemory::mitigate(dram::BankId bank, dram::RowAddr row)
             .pre(bank)
             .sleepNs(t.tRpNs);
     }
-    host_.run(p);
+    return p;
+}
+
+void
+ProtectedMemory::mitigate(dram::BankId bank, dram::RowAddr row)
+{
+    host_.run(makeMitigationProgram(host_.config(), bank, row));
 }
 
 void

@@ -84,6 +84,15 @@ class ProtectedMemory
     ProtectedMemory(bender::Host &host, TrackerOptions opts);
 
     /**
+     * The victim-refresh program mitigate() executes: one in-spec
+     * ACT..PRE cycle per logical neighbour of @p row that exists in
+     * @p cfg.  Exposed for the program linter and its catalog.
+     */
+    static bender::Program
+    makeMitigationProgram(const dram::DeviceConfig &cfg,
+                          dram::BankId bank, dram::RowAddr row);
+
+    /**
      * Hammers @p row through the protected controller in chunks,
      * applying mitigations as the tracker fires.
      */

@@ -38,6 +38,11 @@ struct TimingParams
     double tRfcNs = 350.0;      //!< REF to next command.
     double tRefiNs = 7800.0;    //!< Nominal refresh command interval.
     double refreshWindowMs = 64.0;  //!< Retention window per JEDEC.
+    double tRrdNs = 5.0;        //!< ACT to ACT, different banks.
+    double tFawNs = 25.0;       //!< Window holding at most four ACTs.
+
+    /** ACT to ACT on the same bank (tRAS + tRP). */
+    double tRcNs() const { return tRasNs + tRpNs; }
 
     /**
      * ACT issued within this many ns after PRE finds the bitlines

@@ -149,5 +149,34 @@ TEST_F(BenderEdgeTest, HammerZeroCountIsHarmless)
     EXPECT_EQ(chip_.stats().acts, 0u);
 }
 
+TEST_F(BenderEdgeTest, ValidateAcceptsZeroCountLoops)
+{
+    // A zero-iteration loop is a lint warning, not a structural
+    // error: validate() must not die on it.
+    Program p;
+    p.loopBegin(0).act(0, 5).pre(0).loopEnd();
+    p.validate();
+    host_.run(p);
+    EXPECT_EQ(chip_.stats().acts, 0u);
+}
+
+TEST_F(BenderEdgeTest, ValidateAcceptsDeepNesting)
+{
+    Program p;
+    for (int i = 0; i < 16; ++i)
+        p.loopBegin(1);
+    p.nop(1);
+    for (int i = 0; i < 16; ++i)
+        p.loopEnd();
+    p.validate();
+}
+
+TEST_F(BenderEdgeTest, StrayLoopEndDies)
+{
+    Program p;
+    p.act(0, 1).sleepNs(cfg_.timing.tRasNs).pre(0).loopEnd();
+    EXPECT_DEATH(p.validate(), "unbalanced");
+}
+
 } // namespace
 } // namespace dramscope

@@ -94,6 +94,32 @@ TEST_F(HostTest, BulkClockExactAfterLongWait)
     EXPECT_EQ(host_.now() - t0, dram::NanoTime(count * 50));
 }
 
+TEST_F(HostTest, SleepDurationRoundedOnceAtBuildTime)
+{
+    // sleepNs() stores integer picoseconds in the instruction, rounded
+    // once when the program is built; the executor then only adds
+    // integers.  0.333ns must round to exactly 333ps, and looping the
+    // sleep 3000 times must advance the clock by exactly 999ns — a
+    // per-iteration double-to-ps conversion would accumulate drift.
+    Program p;
+    p.loopBegin(3000).sleepNs(0.333).loopEnd();
+    ASSERT_EQ(p.instrs()[1].op, Opcode::SleepNs);
+    EXPECT_EQ(p.instrs()[1].ps, 333);
+
+    const auto t0 = host_.now();
+    host_.run(p);
+    EXPECT_EQ(host_.now() - t0, dram::NanoTime(999));
+}
+
+TEST_F(HostTest, SleepNsRoundsHalfAwayFromZero)
+{
+    Program p;
+    p.sleepNs(0.0005).sleepNs(1.0 / 3.0).sleepNs(7800.0);
+    EXPECT_EQ(p.instrs()[0].ps, 1);
+    EXPECT_EQ(p.instrs()[1].ps, 333);
+    EXPECT_EQ(p.instrs()[2].ps, 7800000);
+}
+
 TEST_F(HostTest, WriteReadRowBitsRoundtrip)
 {
     BitVec bits(cfg_.rowBits);

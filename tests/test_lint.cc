@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Static-analyzer tests: rule registry, the abstract timing
+ * interpreter, expected-violation annotations, and the built-in
+ * program catalog's cleanliness contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "bender/host.h"
+#include "bender/lint.h"
+#include "core/programs.h"
+#include "dram/chip.h"
+#include "test_common.h"
+
+namespace dramscope {
+namespace {
+
+using bender::Host;
+using bender::Program;
+namespace lint = bender::lint;
+using lint::Rule;
+using lint::Severity;
+
+/** Slots of every diagnostic matching @p rule. */
+std::vector<size_t>
+slotsOf(const lint::Report &report, Rule rule)
+{
+    std::vector<size_t> slots;
+    for (const auto &d : report.diags) {
+        if (d.rule == rule)
+            slots.push_back(d.slot);
+    }
+    return slots;
+}
+
+bool
+hasRule(const lint::Report &report, Rule rule)
+{
+    return !slotsOf(report, rule).empty();
+}
+
+TEST(LintRuleTable, CompleteAndUnique)
+{
+    const auto &table = lint::ruleTable();
+    ASSERT_EQ(table.size(), lint::ruleCount());
+    ASSERT_GE(table.size(), 15u);
+    std::set<std::string> ids;
+    for (size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(size_t(table[i].rule), i);
+        EXPECT_TRUE(ids.insert(table[i].id).second)
+            << "duplicate rule id " << table[i].id;
+        EXPECT_STRNE(table[i].summary, "");
+        EXPECT_STREQ(lint::ruleId(table[i].rule), table[i].id);
+    }
+}
+
+class LintTest : public ::testing::Test
+{
+  protected:
+    LintTest() : cfg_(testutil::tinyPlain()) {}
+
+    lint::Report lint(const Program &p) const
+    {
+        return lint::lint(p, cfg_);
+    }
+
+    dram::DeviceConfig cfg_;
+};
+
+TEST_F(LintTest, HammerKernelPassesClean)
+{
+    const auto p = Host::makeHammerProgram(cfg_, 0, 21, 300000, 35.0);
+    EXPECT_TRUE(p.expectedViolations().empty());
+    const auto report = lint(p);
+    EXPECT_TRUE(report.diags.empty());
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.commandCount, 2u * 300000u);
+}
+
+TEST_F(LintTest, SubTRasOpenTimeIsAnnotated)
+{
+    // A tAggON probe below tRAS is a deliberate out-of-spec step.
+    const auto p = Host::makeHammerProgram(cfg_, 0, 21, 1000, 20.0);
+    ASSERT_EQ(p.expectedViolations().size(), 1u);
+    EXPECT_EQ(p.expectedViolations()[0], Rule::TRas);
+    const auto report = lint(p);
+    EXPECT_FALSE(report.hasErrors());
+    ASSERT_TRUE(hasRule(report, Rule::TRas));
+    for (const auto &d : report.diags) {
+        if (d.rule == Rule::TRas) {
+            EXPECT_TRUE(d.expected);
+            EXPECT_EQ(d.severity, Severity::Note);
+        }
+    }
+}
+
+TEST_F(LintTest, RowCopyFlagsTRpAndTRcAsExpected)
+{
+    const auto p = Host::makeRowCopyProgram(cfg_, 0, 100, 101);
+    const auto report = lint(p);
+    EXPECT_FALSE(report.hasErrors());
+    // The second ACT is slot 4: act, sleep, pre, sleep, act.
+    EXPECT_EQ(slotsOf(report, Rule::TRp), std::vector<size_t>{4});
+    EXPECT_EQ(slotsOf(report, Rule::TRc), std::vector<size_t>{4});
+    for (const auto &d : report.diags) {
+        EXPECT_TRUE(d.expected) << lint::ruleId(d.rule);
+        EXPECT_EQ(d.severity, Severity::Note);
+    }
+}
+
+TEST_F(LintTest, UnannotatedRowCopyShapeIsAnError)
+{
+    // The same slip without the annotation must stay an error.
+    Program p;
+    p.act(0, 100)
+        .sleepNs(cfg_.timing.tRasNs)
+        .pre(0)
+        .sleepNs(1.0)
+        .act(0, 101)
+        .sleepNs(cfg_.timing.tRasNs)
+        .pre(0);
+    const auto report = lint(p);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::TRp), std::vector<size_t>{4});
+}
+
+TEST_F(LintTest, TRcdViolationReportsRuleAndSlot)
+{
+    Program p;
+    p.act(0, 1).rd(0, 0).sleepNs(cfg_.timing.tRasNs).pre(0);
+    const auto report = lint(p);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::TRcd), std::vector<size_t>{1});
+}
+
+TEST_F(LintTest, TRasViolationReportsRuleAndSlot)
+{
+    Program p;
+    p.act(0, 1).sleepNs(10.0).pre(0);
+    const auto report = lint(p);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::TRas), std::vector<size_t>{2});
+}
+
+TEST_F(LintTest, ReadOnClosedBankIsAnError)
+{
+    Program p;
+    p.rd(0, 0);
+    const auto report = lint(p);
+    EXPECT_EQ(slotsOf(report, Rule::RwClosed), std::vector<size_t>{0});
+}
+
+TEST_F(LintTest, RefWithOpenRowIsAnError)
+{
+    Program p;
+    p.act(0, 1).sleepNs(cfg_.timing.tRcdNs).ref();
+    const auto report = lint(p);
+    EXPECT_EQ(slotsOf(report, Rule::RefOpen), std::vector<size_t>{2});
+    EXPECT_EQ(report.refCount, 1u);
+}
+
+TEST_F(LintTest, ActOnOpenBankIsAnError)
+{
+    Program p;
+    p.act(0, 1).sleepNs(50.0).act(0, 2);
+    const auto report = lint(p);
+    EXPECT_EQ(slotsOf(report, Rule::ActOpen), std::vector<size_t>{2});
+    // And the program never closes the row.
+    EXPECT_TRUE(hasRule(report, Rule::OpenAtEnd));
+}
+
+TEST_F(LintTest, ActRateRulesFireAcrossBanks)
+{
+    auto cfg = cfg_;
+    cfg.numBanks = 8;
+    // Five back-to-back ACTs to distinct banks: each gap is one tCK
+    // (< tRRD) and the fifth lands well inside the tFAW window.
+    Program p;
+    for (dram::BankId b = 0; b < 5; ++b)
+        p.act(b, 1);
+    const auto report = lint::lint(p, cfg);
+    EXPECT_TRUE(hasRule(report, Rule::TRrd));
+    EXPECT_EQ(slotsOf(report, Rule::TFaw), std::vector<size_t>{4});
+}
+
+TEST_F(LintTest, InSpecActSpacingPassesRateRules)
+{
+    auto cfg = cfg_;
+    cfg.numBanks = 8;
+    Program p;
+    for (dram::BankId b = 0; b < 5; ++b)
+        p.act(b, 1).sleepNs(7.0);  // > tRRD; 4-ACT window > tFAW.
+    for (dram::BankId b = 0; b < 5; ++b) {
+        p.sleepNs(cfg.timing.tRasNs).pre(b);
+    }
+    const auto report = lint::lint(p, cfg);
+    EXPECT_FALSE(hasRule(report, Rule::TRrd));
+    EXPECT_FALSE(hasRule(report, Rule::TFaw));
+}
+
+TEST_F(LintTest, CrossIterationSpacingIsChecked)
+{
+    // The loop tail leaves no tRP before the next iteration's ACT:
+    // only visible across the loop back-edge.
+    Program p;
+    p.loopBegin(10)
+        .act(0, 1)
+        .sleepNs(cfg_.timing.tRasNs)
+        .pre(0)
+        .loopEnd();
+    const auto report = lint(p);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::TRp), std::vector<size_t>{1});
+}
+
+TEST_F(LintTest, ZeroLoopAndDeadCodeAreWarnings)
+{
+    Program p;
+    p.loopBegin(0).act(0, 5).pre(0).loopEnd();
+    const auto report = lint(p);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::ZeroLoop), std::vector<size_t>{0});
+    EXPECT_EQ(slotsOf(report, Rule::DeadCode), std::vector<size_t>{1});
+    EXPECT_EQ(report.commandCount, 0u);
+    EXPECT_EQ(report.durationPs, 0);
+}
+
+TEST_F(LintTest, StaleExpectationIsFlagged)
+{
+    auto p = Host::makeHammerProgram(cfg_, 0, 21, 100, 35.0);
+    p.expectViolation(Rule::TRp);  // Never fires: annotation is stale.
+    const auto report = lint(p);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_TRUE(hasRule(report, Rule::StaleExpectation));
+}
+
+TEST_F(LintTest, UnbalancedLoopIsReportedNotFatal)
+{
+    Program p;
+    p.loopBegin(2).act(0, 1);
+    const auto report = lint(p);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(slotsOf(report, Rule::UnbalancedLoop),
+              std::vector<size_t>{0});
+    // The timing walk is skipped on broken structure.
+    EXPECT_EQ(report.durationPs, 0);
+}
+
+TEST_F(LintTest, SymbolicClockMatchesHostClockExactly)
+{
+    // Awkward fractional-ns sleeps: the duration is rounded to
+    // integer picoseconds once, at build time, so the linter's
+    // symbolic clock and the executor's clock consume the same
+    // integers and agree to the picosecond.
+    Program p;
+    p.loopBegin(3000).sleepNs(1.0 / 3.0).loopEnd();
+    ASSERT_EQ(p.instrs()[1].ps, 333);
+    const auto report = lint(p);
+    EXPECT_EQ(report.durationPs, 3000 * 333);
+
+    dram::Chip chip(cfg_);
+    bender::Host host(chip);
+    const auto t0 = host.now();
+    host.run(p);
+    EXPECT_EQ(host.now() - t0, report.durationPs / 1000);
+}
+
+TEST_F(LintTest, SymbolicClockMatchesBulkHammerPath)
+{
+    // The default hammer kernel is 50ns per iteration; the bulk
+    // fast path and the linter must agree on the total exactly.
+    const uint64_t count = 12345;
+    const auto p = Host::makeHammerProgram(cfg_, 0, 21, count, 35.0);
+    const auto report = lint(p);
+    EXPECT_EQ(report.durationPs, int64_t(count) * 50000);
+
+    dram::Chip chip(cfg_);
+    bender::Host host(chip);
+    const auto t0 = host.now();
+    host.run(p);
+    EXPECT_EQ(host.now() - t0, dram::NanoTime(count * 50));
+}
+
+TEST_F(LintTest, DeepNestingWalksAndCounts)
+{
+    Program p;
+    const int depth = 10;
+    for (int i = 0; i < depth; ++i)
+        p.loopBegin(2);
+    p.nop(1);
+    for (int i = 0; i < depth; ++i)
+        p.loopEnd();
+    p.validate();  // Structurally fine.
+    const auto report = lint(p);
+    EXPECT_TRUE(report.diags.empty());
+    // 2^10 expanded NOPs of one tCK each.
+    EXPECT_EQ(report.durationPs, 1024 * 1250);
+}
+
+TEST_F(LintTest, RefreshBudgetEstimateForLongPrograms)
+{
+    // ~78ms of idle looping with no REF: past tREFW, under-refreshed.
+    Program p;
+    p.loopBegin(10000).sleepNs(7800.0).loopEnd();
+    const auto report = lint(p);
+    EXPECT_FALSE(report.hasErrors());
+    ASSERT_TRUE(hasRule(report, Rule::RefreshBudget));
+
+    // The same span with a REF per tREFI stays within budget (the
+    // sleep is trimmed so the REF command's own tCK keeps the
+    // iteration period under tREFI).
+    Program q;
+    q.loopBegin(10000).ref().sleepNs(7790.0).loopEnd();
+    const auto clean = lint(q);
+    EXPECT_FALSE(hasRule(clean, Rule::RefreshBudget));
+    EXPECT_EQ(clean.refCount, 10000u);
+}
+
+/**
+ * The catalog contract (every built-in charact/attack/RE program):
+ * no unexpected violations on any preset, and exactly the annotation
+ * sets the builders declare — RowCopy flags tRP + tRC, everything
+ * else is annotation-free.
+ */
+TEST(LintCatalog, AllBuiltinProgramsLintCleanOnAllPresets)
+{
+    auto configs = std::vector<dram::DeviceConfig>{testutil::tinyPlain()};
+    for (const auto &id : dram::presetIds())
+        configs.push_back(dram::makePreset(id));
+
+    for (const auto &cfg : configs) {
+        for (const auto &entry : core::builtinPrograms(cfg)) {
+            const auto report = lint::lint(entry.prog, cfg);
+            EXPECT_FALSE(report.hasErrors())
+                << cfg.name << ": " << entry.name;
+            EXPECT_FALSE(hasRule(report, Rule::StaleExpectation))
+                << cfg.name << ": " << entry.name;
+
+            std::multiset<Rule> expected(
+                entry.prog.expectedViolations().begin(),
+                entry.prog.expectedViolations().end());
+            if (entry.name == "rowcopy") {
+                EXPECT_EQ(expected,
+                          (std::multiset<Rule>{Rule::TRp, Rule::TRc}))
+                    << cfg.name;
+            } else {
+                EXPECT_TRUE(expected.empty())
+                    << cfg.name << ": " << entry.name;
+            }
+        }
+    }
+}
+
+TEST(LintCatalog, LookupByNameAndUniqueness)
+{
+    const auto cfg = testutil::tinyPlain();
+    std::set<std::string> names;
+    for (const auto &entry : core::builtinPrograms(cfg))
+        EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+    EXPECT_TRUE(names.count("hammer"));
+    EXPECT_TRUE(names.count("rowcopy"));
+    const auto one = core::builtinProgram(cfg, "rowcopy");
+    EXPECT_EQ(one.name, "rowcopy");
+    EXPECT_DEATH(core::builtinProgram(cfg, "no-such-program"),
+                 "unknown program");
+}
+
+} // namespace
+} // namespace dramscope

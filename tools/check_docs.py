@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checks (CI `docs` job).
 
-Two checks:
+Three checks:
 
 1. Relative markdown links in README.md, EXPERIMENTS.md, DESIGN.md and
    docs/*.md must point at files that exist.
@@ -9,6 +9,9 @@ Two checks:
    cite a model-source file and a test file that contain a literal
    ``O<n>`` tag comment, the cited bench file must exist, and the
    table must cover all of O1..O14.
+3. The rule table in docs/LINT_RULES.md must list exactly the rules
+   registered in the ``DRAMSCOPE_LINT_RULES`` X-macro of
+   src/bender/lint.h, in registry order, with matching severities.
 
 Exits non-zero with one line per problem.
 """
@@ -21,11 +24,19 @@ REPO = Path(__file__).resolve().parent.parent
 
 LINK_CHECKED = ["README.md", "EXPERIMENTS.md", "DESIGN.md"]
 OBSERVATIONS = "docs/OBSERVATIONS.md"
+LINT_HEADER = "src/bender/lint.h"
+LINT_RULES_DOC = "docs/LINT_RULES.md"
 ALL_TAGS = [f"O{n}" for n in range(1, 15)]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ROW_RE = re.compile(r"^\|\s*(O\d+)\s*\|")
 PATH_RE = re.compile(r"`([^`]+)`")
+# One X-macro entry: X(Enumerator, "rule-id", Severity, "summary...").
+RULE_ENTRY_RE = re.compile(
+    r"X\(\s*(\w+)\s*,\s*\"([a-z0-9-]+)\"\s*,\s*(\w+)\s*,")
+# One doc-table row: | `rule-id` | severity | description |
+RULE_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9-]+)`\s*\|\s*(\w+)\s*\|\s*(.+?)\s*\|\s*$")
 
 
 def check_links(md_path: Path, errors: list) -> None:
@@ -97,6 +108,72 @@ def check_observations(errors: list) -> None:
                           f"missing: {bench}")
 
 
+def registered_lint_rules(errors: list) -> list:
+    """(rule-id, severity) pairs from the X-macro, registry order."""
+    header = REPO / LINT_HEADER
+    if not header.exists():
+        errors.append(f"{LINT_HEADER}: missing")
+        return []
+    text = header.read_text(encoding="utf-8")
+    marker = "#define DRAMSCOPE_LINT_RULES(X)"
+    start = text.find(marker)
+    if start < 0:
+        errors.append(f"{LINT_HEADER}: DRAMSCOPE_LINT_RULES macro "
+                      f"not found")
+        return []
+    # The macro body is the run of backslash-continued lines.
+    body_lines = []
+    for line in text[start + len(marker):].splitlines()[1:]:
+        body_lines.append(line)
+        if not line.rstrip().endswith("\\"):
+            break
+    rules = [(rid, sev.lower())
+             for _, rid, sev in RULE_ENTRY_RE.findall("\n".join(body_lines))]
+    if not rules:
+        errors.append(f"{LINT_HEADER}: no X(...) entries parsed from "
+                      f"DRAMSCOPE_LINT_RULES")
+    return rules
+
+
+def check_lint_rules(errors: list) -> None:
+    rules = registered_lint_rules(errors)
+    doc_path = REPO / LINT_RULES_DOC
+    if not doc_path.exists():
+        errors.append(f"{LINT_RULES_DOC}: missing")
+        return
+
+    documented = []
+    for line in doc_path.read_text(encoding="utf-8").splitlines():
+        m = RULE_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        rid, sev, desc = m.group(1), m.group(2).lower(), m.group(3)
+        documented.append((rid, sev))
+        if not desc.strip():
+            errors.append(f"{LINT_RULES_DOC}: {rid}: empty description")
+
+    doc_ids = {rid for rid, _ in documented}
+    reg_ids = {rid for rid, _ in rules}
+    for rid, sev in rules:
+        if rid not in doc_ids:
+            errors.append(f"{LINT_RULES_DOC}: registered rule '{rid}' "
+                          f"has no table row")
+    for rid, sev in documented:
+        if rid not in reg_ids:
+            errors.append(f"{LINT_RULES_DOC}: documents unknown rule "
+                          f"'{rid}' (not in {LINT_HEADER})")
+    doc_sev = dict(documented)
+    for rid, sev in rules:
+        if rid in doc_sev and doc_sev[rid] != sev:
+            errors.append(f"{LINT_RULES_DOC}: {rid}: documented "
+                          f"severity '{doc_sev[rid]}' != registered "
+                          f"'{sev}'")
+    if doc_ids == reg_ids and \
+            [r for r, _ in documented] != [r for r, _ in rules]:
+        errors.append(f"{LINT_RULES_DOC}: table rows are not in "
+                      f"registry order")
+
+
 def main() -> int:
     errors = []
     for name in LINK_CHECKED:
@@ -108,6 +185,7 @@ def main() -> int:
     for path in sorted((REPO / "docs").glob("*.md")):
         check_links(path, errors)
     check_observations(errors)
+    check_lint_rules(errors)
 
     if errors:
         for err in errors:
@@ -115,7 +193,7 @@ def main() -> int:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all links resolve, O1..O14 all mapped and "
-          "tagged")
+          "tagged, lint rule table in sync")
     return 0
 
 

@@ -11,6 +11,13 @@
  *   retention <preset>           retention survival curve
  *   report  <preset>             full reverse-engineering pipeline
  *   stats   <preset> [row] [n]   command metrics of a hammer workload
+ *   lint    <preset> [name]      static analysis of built-in programs
+ *
+ * `lint` runs the bender::lint static analyzer (no device execution)
+ * over every built-in command program — or just `name` — and prints
+ * a diagnostics table.  Exit status 1 when any program has an
+ * unexpected (unannotated) violation; expected violations such as
+ * RowCopy's ACT inside tRP show as notes.
  *
  * `hammer`, `press` and `rowcopy` accept a trailing `--trace=FILE`
  * flag that streams every issued command as one JSONL record
@@ -31,7 +38,9 @@
 #include <vector>
 
 #include "bender/host.h"
+#include "bender/lint.h"
 #include "bender/trace.h"
+#include "core/programs.h"
 #include "core/re_adjacency.h"
 #include "core/re_coupled.h"
 #include "core/re_polarity.h"
@@ -119,6 +128,8 @@ usage()
         "  report <preset>               reverse-engineering pipeline\n"
         "  stats <preset> [row] [n]      command metrics of a hammer "
         "workload\n"
+        "  lint <preset> [name]          static analysis of built-in "
+        "programs\n"
         "hammer/press/rowcopy accept --trace=FILE (JSONL command "
         "trace)\n"
         "device commands accept --device=chip|dimm|hbm[:channel] "
@@ -318,6 +329,40 @@ cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count,
 }
 
 int
+cmdLint(const std::string &preset, const std::string &name)
+{
+    const auto cfg = dram::makePreset(preset);
+    std::vector<core::NamedProgram> programs;
+    if (name.empty())
+        programs = core::builtinPrograms(cfg);
+    else
+        programs.push_back(core::builtinProgram(cfg, name));
+
+    Table t({"Program", "Slot", "Rule", "Severity", "Message"});
+    size_t unexpected_errors = 0;
+    size_t clean = 0;
+    for (const auto &entry : programs) {
+        const auto report = bender::lint::lint(entry.prog, cfg);
+        if (report.diags.empty())
+            ++clean;
+        for (const auto &d : report.diags) {
+            t.addRow({entry.name, Table::num(uint64_t(d.slot)),
+                      bender::lint::ruleId(d.rule),
+                      std::string(bender::lint::toString(d.severity)) +
+                          (d.expected ? " (expected)" : ""),
+                      d.message});
+            if (d.severity == bender::lint::Severity::Error)
+                ++unexpected_errors;
+        }
+    }
+    t.print();
+    std::printf("%zu program(s): %zu with no diagnostics, %zu "
+                "unexpected error(s)\n",
+                programs.size(), clean, unexpected_errors);
+    return unexpected_errors == 0 ? 0 : 1;
+}
+
+int
 cmdRetention(const std::string &preset, const std::string &device_spec)
 {
     const auto cfg = dram::makePreset(preset);
@@ -417,6 +462,8 @@ main(int argc, char **argv)
             return cmdRetention(preset, device_spec);
         if (cmd == "report")
             return cmdReport(preset, device_spec);
+        if (cmd == "lint")
+            return cmdLint(preset, args.size() > 2 ? args[2] : "");
         if (cmd == "stats") {
             const auto row = args.size() > 2
                                  ? dram::RowAddr(std::atoll(args[2].c_str()))
