@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the resilience layer: what the
+ * FaultyDevice decorator costs on the hot paths (the empty-spec
+ * forwarding overhead must stay negligible — campaigns leave the
+ * wrapper in place and toggle the spec), and what the fsync'd shard
+ * journal adds per shard.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bender/host.h"
+#include "core/sweep.h"
+#include "dram/chip.h"
+#include "dram/config.h"
+#include "dram/faulty_device.h"
+
+using namespace dramscope;
+
+namespace {
+
+dram::DeviceConfig
+benchConfig()
+{
+    return dram::makePreset("A_x4_2016");
+}
+
+/** Baseline: the bulk hammer path on a bare chip. */
+void
+BM_HammerBareChip(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    host.writeRowPattern(0, 1001, ~0ULL);
+    host.writeRowPattern(0, 1000, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.hammer(0, 1000, 1000));
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HammerBareChip);
+
+/** The same path through an inject-nothing FaultyDevice. */
+void
+BM_HammerFaultyEmptySpec(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    dram::FaultyDevice faulty(chip, dram::FaultSpec{});
+    bender::Host host(faulty);
+    host.writeRowPattern(0, 1001, ~0ULL);
+    host.writeRowPattern(0, 1000, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.hammer(0, 1000, 1000));
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HammerFaultyEmptySpec);
+
+/** Row reads under an active per-bit flip stream (worst case: the
+ *  per-bit hash draw on every RD burst). */
+void
+BM_ReadRowFlipStream(benchmark::State &state)
+{
+    dram::Chip chip(benchConfig());
+    const auto spec = *dram::FaultSpec::parse("flip:1e-6");
+    dram::FaultyDevice faulty(chip, spec);
+    bender::Host host(faulty);
+    host.writeRowPattern(0, 1000, 0xA5A5A5A5ULL);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(host.readRowBits(0, 1000));
+    state.SetItemsProcessed(state.iterations() *
+                            chip.config().rowBits);
+}
+BENCHMARK(BM_ReadRowFlipStream);
+
+/** One resilient shard (tiny unit), with and without the fsync'd
+ *  journal: arg 0 = no checkpoint, 1 = checkpoint per shard. */
+void
+BM_ResilientShard(benchmark::State &state)
+{
+    const bool journal = state.range(0) != 0;
+    dram::Chip chip(benchConfig());
+    bender::Host host(chip);
+    core::SweepRunner runner(host, core::SweepOptions(1, 0x5eedULL));
+    const std::string path = "/tmp/dramscope_bench_journal.jsonl";
+    const auto unit = [](core::ShardContext &ctx) {
+        ctx.host.writeRowPattern(0, 100 + ctx.shard, 0);
+        return std::to_string(ctx.shard);
+    };
+    uint64_t shards_run = 0;
+    for (auto _ : state) {
+        core::ResilienceOptions opts;
+        if (journal) {
+            std::remove(path.c_str());
+            opts.checkpointPath = path;
+        }
+        const auto report = runner.runResilient(8, unit, opts);
+        benchmark::DoNotOptimize(report.executed);
+        shards_run += report.shards.size();
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(int64_t(shards_run));
+}
+BENCHMARK(BM_ResilientShard)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/log.h"
+
 namespace dramscope {
 namespace obs {
 
@@ -159,14 +161,43 @@ CommandTracer::writeJsonl(const std::string &path) const
 }
 
 JsonlWriter::JsonlWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "w"))
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
 {
 }
 
 JsonlWriter::~JsonlWriter()
 {
-    if (file_)
-        std::fclose(file_);
+    if (!file_)
+        return;
+    // Flush before closing so buffered records are either on disk or
+    // reported as lost — never silently dropped.
+    flush();
+    if (std::fclose(file_) != 0)
+        noteError();
+    file_ = nullptr;
+}
+
+void
+JsonlWriter::noteError()
+{
+    failed_ = true;
+    if (!error_reported_) {
+        error_reported_ = true;
+        warn("trace: cannot write " + path_ +
+             " (records are being lost)");
+    }
+}
+
+bool
+JsonlWriter::flush()
+{
+    if (!file_)
+        return false;
+    if (std::fflush(file_) != 0 || std::ferror(file_) != 0) {
+        noteError();
+        return false;
+    }
+    return !failed_;
 }
 
 void
@@ -174,7 +205,11 @@ JsonlWriter::onCommand(const TraceRecord &rec)
 {
     if (!file_)
         return;
-    std::fprintf(file_, "%s\n", toJsonl(rec).c_str());
+    if (std::fprintf(file_, "%s\n", toJsonl(rec).c_str()) < 0) {
+        ++write_errors_;
+        noteError();
+        return;
+    }
     ++written_;
 }
 

@@ -107,12 +107,23 @@ class CommandTracer : public TraceSink
     uint64_t recorded_ = 0;
 };
 
-/** Streaming JSONL sink: one line per command, no retention limit. */
+/**
+ * Streaming JSONL sink: one line per command, no retention limit.
+ *
+ * Write and flush errors are detected (a full disk must not silently
+ * truncate an hours-long trace): the first failure latches failed(),
+ * is counted in writeErrors(), and is reported once via warn().  The
+ * destructor flushes, so a trace that outlives its writer without an
+ * explicit flush() still reaches the file — or reports that it
+ * could not.
+ */
 class JsonlWriter : public TraceSink
 {
   public:
     /** Opens @p path for writing; check ok() before use. */
     explicit JsonlWriter(const std::string &path);
+
+    /** Flushes; warns when records could not be written. */
     ~JsonlWriter() override;
 
     JsonlWriter(const JsonlWriter &) = delete;
@@ -123,12 +134,31 @@ class JsonlWriter : public TraceSink
     /** True when the file opened successfully. */
     bool ok() const { return file_ != nullptr; }
 
-    /** Lines written so far. */
+    /** True once any write or flush has failed. */
+    bool failed() const { return failed_; }
+
+    /** Records that could not be written (stream errors). */
+    uint64_t writeErrors() const { return write_errors_; }
+
+    /**
+     * Flushes buffered records to the file.  Returns false (and
+     * latches failed()) when the stream reports an error — e.g. a
+     * full disk.
+     */
+    bool flush();
+
+    /** Lines written so far (excluding failed writes). */
     uint64_t written() const { return written_; }
 
   private:
+    void noteError();
+
+    std::string path_;
     std::FILE *file_;
     uint64_t written_ = 0;
+    uint64_t write_errors_ = 0;
+    bool failed_ = false;
+    bool error_reported_ = false;
 };
 
 } // namespace obs

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Deterministic fault-injection decorator implementation.
+ */
+
+#include "dram/faulty_device.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace dramscope {
+namespace dram {
+
+namespace {
+
+/** Stream-tag constants keeping drop and flip draws independent. */
+constexpr uint64_t kDropTag = 0xD40Full;
+constexpr uint64_t kFlipTag = 0xF119ull;
+
+/** Sets @p *error to @p msg (when requested) and returns nullopt. */
+std::optional<FaultSpec>
+parseFail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return std::nullopt;
+}
+
+/**
+ * Parses an unsigned decimal at @p p; true on success with @p p
+ * advanced past the digits.
+ */
+bool
+parseU64(const char *&p, uint64_t &out)
+{
+    char *end = nullptr;
+    if (*p == '-')
+        return false;
+    out = std::strtoull(p, &end, 10);
+    if (end == p)
+        return false;
+    p = end;
+    return true;
+}
+
+/** Parses a probability in [0, 1] at @p p. */
+bool
+parseRate(const char *&p, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(p, &end);
+    if (end == p || !(out >= 0.0) || out > 1.0)
+        return false;
+    p = end;
+    return true;
+}
+
+} // namespace
+
+std::string
+FaultSpec::toString() const
+{
+    std::string out;
+    const auto sep = [&out] {
+        if (!out.empty())
+            out += ',';
+    };
+    for (const auto &cell : stuck) {
+        sep();
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "stuck@%u.%u.%u.%u=%d",
+                      unsigned(cell.bank), unsigned(cell.row),
+                      unsigned(cell.col), unsigned(cell.bit),
+                      cell.value ? 1 : 0);
+        out += buf;
+    }
+    if (flipRate > 0.0) {
+        sep();
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "flip:%g", flipRate);
+        out += buf;
+    }
+    if (dropRate > 0.0) {
+        sep();
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "drop:%g", dropRate);
+        out += buf;
+    }
+    if (dieAfterCommands > 0) {
+        sep();
+        out += "die:cmd=" + std::to_string(dieAfterCommands);
+    }
+    if (seed != 1) {
+        sep();
+        out += "seed:" + std::to_string(seed);
+    }
+    return out;
+}
+
+std::optional<FaultSpec>
+FaultSpec::parse(const std::string &spec, std::string *error)
+{
+    FaultSpec out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty())
+            return parseFail(error, "empty fault clause");
+
+        const char *p = clause.c_str();
+        if (clause.rfind("stuck@", 0) == 0) {
+            p += 6;
+            StuckCell cell;
+            uint64_t bank = 0, row = 0, col = 0, bit = 0, value = 0;
+            if (!parseU64(p, bank) || *p++ != '.' ||
+                !parseU64(p, row) || *p++ != '.' ||
+                !parseU64(p, col) || *p++ != '.' ||
+                !parseU64(p, bit) || *p++ != '=' ||
+                !parseU64(p, value) || *p != '\0' ||
+                bank > 0xFFFF || bit >= 64 || value > 1) {
+                return parseFail(error,
+                                 "bad stuck clause '" + clause +
+                                     "' (stuck@B.R.C.BIT=V)");
+            }
+            cell.bank = BankId(bank);
+            cell.row = RowAddr(row);
+            cell.col = ColAddr(col);
+            cell.bit = uint32_t(bit);
+            cell.value = value != 0;
+            out.stuck.push_back(cell);
+        } else if (clause.rfind("flip:", 0) == 0) {
+            p += 5;
+            if (!parseRate(p, out.flipRate) || *p != '\0')
+                return parseFail(error, "bad flip rate in '" + clause +
+                                            "' (flip:RATE in [0,1])");
+        } else if (clause.rfind("drop:", 0) == 0) {
+            p += 5;
+            if (!parseRate(p, out.dropRate) || *p != '\0')
+                return parseFail(error, "bad drop rate in '" + clause +
+                                            "' (drop:RATE in [0,1])");
+        } else if (clause.rfind("die:cmd=", 0) == 0) {
+            p += 8;
+            if (!parseU64(p, out.dieAfterCommands) || *p != '\0' ||
+                out.dieAfterCommands == 0) {
+                return parseFail(error, "bad die clause '" + clause +
+                                            "' (die:cmd=N, N > 0)");
+            }
+        } else if (clause.rfind("seed:", 0) == 0) {
+            p += 5;
+            if (!parseU64(p, out.seed) || *p != '\0')
+                return parseFail(error,
+                                 "bad seed in '" + clause + "'");
+        } else {
+            return parseFail(error,
+                             "unknown fault clause '" + clause +
+                                 "' (stuck@|flip:|drop:|die:cmd=|seed:)");
+        }
+    }
+    return out;
+}
+
+FaultyDevice::FaultyDevice(Device &inner, FaultSpec spec)
+    : inner_(&inner), spec_(std::move(spec))
+{
+    open_row_.resize(inner_->config().numBanks);
+    beginShard(0, 1);
+}
+
+FaultyDevice::FaultyDevice(std::unique_ptr<Device> inner, FaultSpec spec)
+    : inner_(inner.get()), owned_(std::move(inner)), spec_(std::move(spec))
+{
+    open_row_.resize(inner_->config().numBanks);
+    beginShard(0, 1);
+}
+
+const DeviceConfig &
+FaultyDevice::config() const
+{
+    return inner_->config();
+}
+
+void
+FaultyDevice::beginShard(uint64_t shard, uint32_t attempt)
+{
+    stream_key_ = hashCombine(hashCombine(spec_.seed, shard), attempt);
+    stream_commands_ = 0;
+}
+
+void
+FaultyDevice::setMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (!metrics_) {
+        flip_counter_ = stuck_counter_ = drop_counter_ = dead_counter_ =
+            nullptr;
+        return;
+    }
+    flip_counter_ = &metrics_->counter("faults.injected.flip");
+    stuck_counter_ = &metrics_->counter("faults.injected.stuck");
+    drop_counter_ = &metrics_->counter("faults.injected.drop");
+    dead_counter_ = &metrics_->counter("faults.device.dead");
+}
+
+void
+FaultyDevice::countFlip(uint64_t n)
+{
+    counts_.flips += n;
+    if (flip_counter_)
+        flip_counter_->add(n);
+}
+
+void
+FaultyDevice::countStuck(uint64_t n)
+{
+    counts_.stuck += n;
+    if (stuck_counter_)
+        stuck_counter_->add(n);
+}
+
+uint64_t
+FaultyDevice::onCommand(uint64_t weight)
+{
+    if (dead_)
+        throw DeviceDeadError("device is dead (die:cmd=" +
+                              std::to_string(spec_.dieAfterCommands) +
+                              " reached)");
+    const uint64_t cmd_seq = stream_commands_;
+    stream_commands_ += weight;
+    lifetime_commands_ += weight;
+    if (spec_.dieAfterCommands > 0 &&
+        lifetime_commands_ > spec_.dieAfterCommands) {
+        dead_ = true;
+        counts_.deaths = 1;
+        if (dead_counter_ && dead_counter_->value == 0)
+            dead_counter_->add(1);
+        throw DeviceDeadError(
+            "device died after " +
+            std::to_string(spec_.dieAfterCommands) + " commands");
+    }
+    if (spec_.dropRate > 0.0) {
+        // One draw per call; a bulk train of `weight` commands drops
+        // with its aggregate probability 1 - (1 - p)^weight.
+        const double p =
+            weight == 1
+                ? spec_.dropRate
+                : 1.0 - std::pow(1.0 - spec_.dropRate, double(weight));
+        if (hashUniform(hashCombine(stream_key_, kDropTag), cmd_seq) <
+            p) {
+            ++counts_.drops;
+            if (drop_counter_)
+                drop_counter_->add(1);
+            throw TransientFaultError("command dropped (injected)");
+        }
+    }
+    return cmd_seq;
+}
+
+uint64_t
+FaultyDevice::corruptRead(BankId b, ColAddr col, uint64_t data,
+                          uint64_t cmd_seq)
+{
+    if (spec_.flipRate > 0.0) {
+        const uint64_t key = hashCombine(stream_key_, kFlipTag);
+        const uint32_t bits = inner_->config().rdDataBits;
+        for (uint32_t i = 0; i < bits; ++i) {
+            if (hashUniform(key, hashCombine(cmd_seq, i)) <
+                spec_.flipRate) {
+                data ^= 1ULL << i;
+                countFlip(1);
+            }
+        }
+    }
+    if (!spec_.stuck.empty() && b < open_row_.size() && open_row_[b]) {
+        const RowAddr row = *open_row_[b];
+        for (const auto &cell : spec_.stuck) {
+            if (cell.bank != b || cell.row != row || cell.col != col)
+                continue;
+            const uint64_t mask = 1ULL << cell.bit;
+            const uint64_t forced =
+                cell.value ? (data | mask) : (data & ~mask);
+            if (forced != data) {
+                data = forced;
+                countStuck(1);
+            }
+        }
+    }
+    return data;
+}
+
+void
+FaultyDevice::act(BankId b, RowAddr row, NanoTime now)
+{
+    onCommand();
+    inner_->act(b, row, now);
+    // Mirror the chip FSM: ACT to an already-open bank is a recorded
+    // violation that leaves the open row unchanged.
+    if (b < open_row_.size() && !open_row_[b])
+        open_row_[b] = row;
+}
+
+void
+FaultyDevice::pre(BankId b, NanoTime now)
+{
+    onCommand();
+    inner_->pre(b, now);
+    if (b < open_row_.size())
+        open_row_[b].reset();
+}
+
+uint64_t
+FaultyDevice::read(BankId b, ColAddr col, NanoTime now)
+{
+    const uint64_t cmd_seq = onCommand();
+    return corruptRead(b, col, inner_->read(b, col, now), cmd_seq);
+}
+
+void
+FaultyDevice::write(BankId b, ColAddr col, uint64_t data, NanoTime now)
+{
+    onCommand();
+    inner_->write(b, col, data, now);
+}
+
+void
+FaultyDevice::refresh(NanoTime now)
+{
+    onCommand();
+    inner_->refresh(now);
+}
+
+void
+FaultyDevice::actMany(BankId b, RowAddr row, uint64_t count,
+                      double open_ns, NanoTime start, NanoTime last_pre)
+{
+    // The train stands for count ACT-PRE pairs.  When hard death
+    // lands inside the train the whole call is refused (the shard is
+    // lost either way, and a partial train would make the death point
+    // depend on bulk-path batching).
+    onCommand(2 * count);
+    inner_->actMany(b, row, count, open_ns, start, last_pre);
+}
+
+uint64_t
+FaultyDevice::violationCount() const
+{
+    return inner_->violationCount();
+}
+
+std::vector<TimingViolation>
+FaultyDevice::violationLog() const
+{
+    return inner_->violationLog();
+}
+
+uint32_t
+FaultyDevice::refreshAggressorNeighbors(BankId b, RowAddr row,
+                                        NanoTime now)
+{
+    onCommand();
+    return inner_->refreshAggressorNeighbors(b, row, now);
+}
+
+} // namespace dram
+} // namespace dramscope

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -78,6 +79,16 @@ class ThreadPool
      * per-worker state (e.g. one device replica per worker).
      */
     static int currentWorker() { return worker_index_; }
+
+    /**
+     * Exceptions that escaped a task body itself (not ones captured
+     * into a future).  Always 0 for submit()-only usage in practice;
+     * nonzero values flag a task type whose result delivery throws.
+     */
+    uint64_t uncaughtTaskErrors() const
+    {
+        return uncaught_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Enqueues @p fn and returns a future for its result.  Exceptions
@@ -165,7 +176,19 @@ class ThreadPool
             Task task;
             if (popLocal(index, task) || steal(index, task)) {
                 pending_.fetch_sub(1, std::memory_order_relaxed);
-                task();
+                try {
+                    task();
+                } catch (...) {
+                    // A task that lets an exception escape (tasks
+                    // submitted via submit() capture theirs into the
+                    // future, but e.g. a result move constructor can
+                    // still throw while the future is being set) must
+                    // never take the worker thread down with it: a
+                    // lost worker would strand its queue and hang the
+                    // pool.  The exception is dropped here; result
+                    // delivery errors surface from future::get().
+                    ++uncaught_;
+                }
                 continue;
             }
             std::unique_lock<std::mutex> lock(wake_mu_);
@@ -187,6 +210,7 @@ class ThreadPool
     std::vector<std::thread> threads_;
     std::atomic<size_t> push_cursor_{0};
     std::atomic<size_t> pending_{0};
+    std::atomic<uint64_t> uncaught_{0};
     std::mutex wake_mu_;
     std::condition_variable wake_cv_;
     bool stop_ = false;

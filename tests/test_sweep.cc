@@ -81,6 +81,27 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture)
     EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
 }
 
+TEST(ThreadPool, WorkersSurviveAFloodOfThrowingTasks)
+{
+    // Regression: a worker must never die with its queue (a lost
+    // worker would strand queued tasks and hang the pool at join).
+    // Exceptions thrown inside submitted tasks are captured into
+    // their futures — they are not "uncaught" escapes.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> failing;
+    for (int i = 0; i < 100; ++i)
+        failing.push_back(pool.submit(
+            []() -> int { throw std::runtime_error("flood"); }));
+    for (auto &f : failing)
+        EXPECT_THROW(f.get(), std::runtime_error);
+    EXPECT_EQ(pool.uncaughtTaskErrors(), 0u);
+
+    // Every worker is still alive and processing.
+    std::atomic<int> count{0};
+    parallelFor(pool, 1000, [&](uint64_t) { ++count; });
+    EXPECT_EQ(count.load(), 1000);
+}
+
 TEST(ThreadPool, ParallelForRethrowsLowestIndexedException)
 {
     ThreadPool pool(4);

@@ -263,6 +263,67 @@ TEST(HostMetricsTest, ViolationCounterTracksTheChip)
     EXPECT_EQ(counted, chip.violationCount());
 }
 
+// ---------------------------------------------------------------------
+// JsonlWriter error reporting.
+// ---------------------------------------------------------------------
+
+TEST(JsonlWriterTest, WritesRecordsAndFlushesOnDestruction)
+{
+    const std::string path =
+        ::testing::TempDir() + "dramscope_jsonl_writer_ok.jsonl";
+    std::remove(path.c_str());
+    {
+        obs::JsonlWriter writer(path);
+        ASSERT_TRUE(writer.ok());
+        writer.onCommand({5.0, TraceCmd::Act, 0, 7, 0});
+        writer.onCommand({40.0, TraceCmd::Rd, 0, 7, 3});
+        EXPECT_EQ(writer.written(), 2u);
+        EXPECT_FALSE(writer.failed());
+        // No explicit flush: the destructor must deliver the records.
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::vector<TraceRecord> parsed;
+    while (std::getline(in, line)) {
+        TraceRecord rec;
+        ASSERT_TRUE(obs::parseJsonl(line, rec)) << line;
+        parsed.push_back(rec);
+    }
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].row, 7u);
+    EXPECT_EQ(parsed[1].cmd, TraceCmd::Rd);
+    std::remove(path.c_str());
+}
+
+TEST(JsonlWriterTest, UnopenablePathReportsNotOk)
+{
+    obs::JsonlWriter writer("/nonexistent-dir/trace.jsonl");
+    EXPECT_FALSE(writer.ok());
+    // Records to a dead writer are dropped without crashing.
+    writer.onCommand({0.0, TraceCmd::Act, 0, 1, 0});
+    EXPECT_EQ(writer.written(), 0u);
+    EXPECT_FALSE(writer.flush());
+}
+
+TEST(JsonlWriterTest, DetectsFailingStream)
+{
+    // /dev/full opens writably but every flush fails with ENOSPC —
+    // exactly the full-disk case an hours-long trace must not hide.
+    std::FILE *probe = std::fopen("/dev/full", "w");
+    if (!probe)
+        GTEST_SKIP() << "/dev/full not available";
+    std::fclose(probe);
+
+    obs::JsonlWriter writer("/dev/full");
+    ASSERT_TRUE(writer.ok());
+    writer.onCommand({1.0, TraceCmd::Act, 0, 2, 0});
+    EXPECT_FALSE(writer.flush());
+    EXPECT_TRUE(writer.failed());
+    // failed() stays latched even if later calls buffer successfully.
+    writer.onCommand({2.0, TraceCmd::Pre, 0, 0, 0});
+    EXPECT_TRUE(writer.failed());
+}
+
 TEST(HostMetricsTest, DetachStopsUpdatesAndReattachResumes)
 {
     dram::Chip chip(testutil::tinyPlain());

@@ -12,6 +12,9 @@ Three checks:
 3. The rule table in docs/LINT_RULES.md must list exactly the rules
    registered in the ``DRAMSCOPE_LINT_RULES`` X-macro of
    src/bender/lint.h, in registry order, with matching severities.
+4. The fault-clause table in docs/RESILIENCE.md must list exactly the
+   clauses registered in the ``DRAMSCOPE_FAULT_CLAUSES`` X-macro of
+   src/dram/faulty_device.h, in registry order.
 
 Exits non-zero with one line per problem.
 """
@@ -26,6 +29,8 @@ LINK_CHECKED = ["README.md", "EXPERIMENTS.md", "DESIGN.md"]
 OBSERVATIONS = "docs/OBSERVATIONS.md"
 LINT_HEADER = "src/bender/lint.h"
 LINT_RULES_DOC = "docs/LINT_RULES.md"
+FAULT_HEADER = "src/dram/faulty_device.h"
+RESILIENCE_DOC = "docs/RESILIENCE.md"
 ALL_TAGS = [f"O{n}" for n in range(1, 15)]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -37,6 +42,11 @@ RULE_ENTRY_RE = re.compile(
 # One doc-table row: | `rule-id` | severity | description |
 RULE_ROW_RE = re.compile(
     r"^\|\s*`([a-z0-9-]+)`\s*\|\s*(\w+)\s*\|\s*(.+?)\s*\|\s*$")
+# One fault X-macro entry: X(Enumerator, "keyword", "summary...").
+CLAUSE_ENTRY_RE = re.compile(r"X\(\s*(\w+)\s*,\s*\"([a-z]+)\"\s*,")
+# One clause-table row: | `keyword` | `syntax` | description |
+CLAUSE_ROW_RE = re.compile(
+    r"^\|\s*`([a-z]+)`\s*\|\s*`([^`]+)`\s*\|\s*(.+?)\s*\|\s*$")
 
 
 def check_links(md_path: Path, errors: list) -> None:
@@ -174,6 +184,67 @@ def check_lint_rules(errors: list) -> None:
                       f"registry order")
 
 
+def registered_fault_clauses(errors: list) -> list:
+    """Clause keywords from the X-macro, registry order."""
+    header = REPO / FAULT_HEADER
+    if not header.exists():
+        errors.append(f"{FAULT_HEADER}: missing")
+        return []
+    text = header.read_text(encoding="utf-8")
+    marker = "#define DRAMSCOPE_FAULT_CLAUSES(X)"
+    start = text.find(marker)
+    if start < 0:
+        errors.append(f"{FAULT_HEADER}: DRAMSCOPE_FAULT_CLAUSES macro "
+                      f"not found")
+        return []
+    body_lines = []
+    for line in text[start + len(marker):].splitlines()[1:]:
+        body_lines.append(line)
+        if not line.rstrip().endswith("\\"):
+            break
+    clauses = [kw for _, kw
+               in CLAUSE_ENTRY_RE.findall("\n".join(body_lines))]
+    if not clauses:
+        errors.append(f"{FAULT_HEADER}: no X(...) entries parsed from "
+                      f"DRAMSCOPE_FAULT_CLAUSES")
+    return clauses
+
+
+def check_fault_clauses(errors: list) -> None:
+    clauses = registered_fault_clauses(errors)
+    doc_path = REPO / RESILIENCE_DOC
+    if not doc_path.exists():
+        errors.append(f"{RESILIENCE_DOC}: missing")
+        return
+
+    documented = []
+    for line in doc_path.read_text(encoding="utf-8").splitlines():
+        m = CLAUSE_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        keyword, syntax, desc = m.group(1), m.group(2), m.group(3)
+        documented.append(keyword)
+        if not syntax.startswith(keyword):
+            errors.append(f"{RESILIENCE_DOC}: {keyword}: syntax "
+                          f"'{syntax}' does not start with the clause "
+                          f"keyword")
+        if not desc.strip():
+            errors.append(f"{RESILIENCE_DOC}: {keyword}: empty "
+                          f"description")
+
+    for keyword in clauses:
+        if keyword not in documented:
+            errors.append(f"{RESILIENCE_DOC}: registered fault clause "
+                          f"'{keyword}' has no table row")
+    for keyword in documented:
+        if keyword not in clauses:
+            errors.append(f"{RESILIENCE_DOC}: documents unknown fault "
+                          f"clause '{keyword}' (not in {FAULT_HEADER})")
+    if set(documented) == set(clauses) and documented != clauses:
+        errors.append(f"{RESILIENCE_DOC}: clause table rows are not "
+                      f"in registry order")
+
+
 def main() -> int:
     errors = []
     for name in LINK_CHECKED:
@@ -186,6 +257,7 @@ def main() -> int:
         check_links(path, errors)
     check_observations(errors)
     check_lint_rules(errors)
+    check_fault_clauses(errors)
 
     if errors:
         for err in errors:
@@ -193,7 +265,7 @@ def main() -> int:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all links resolve, O1..O14 all mapped and "
-          "tagged, lint rule table in sync")
+          "tagged, lint rule and fault clause tables in sync")
     return 0
 
 

@@ -12,6 +12,8 @@
  *   report  <preset>             full reverse-engineering pipeline
  *   stats   <preset> [row] [n]   command metrics of a hammer workload
  *   lint    <preset> [name]      static analysis of built-in programs
+ *   sweep   <preset> [shards] [n]  resilient BER sweep (checkpoint/
+ *                                resume, fault injection, retry)
  *
  * `lint` runs the bender::lint static analyzer (no device execution)
  * over every built-in command program — or just `name` — and prints
@@ -29,8 +31,22 @@
  *   --device=dimm        a registered DIMM rank (RCD inversion + DQ
  *                        twist applied inside the device)
  *   --device=hbm[:N]     channel N of an HBM stack (default 0)
+ *
+ * Every device-driving subcommand also accepts `--faults=SPEC`
+ * (docs/RESILIENCE.md): the device is wrapped in a deterministic
+ * dram::FaultyDevice, e.g. `--faults=flip:1e-6,die:cmd=50000`.
+ *
+ * `sweep` additionally accepts `--jobs=N`, `--seed=S`, `--retries=K`,
+ * `--timeout-ms=T`, `--checkpoint=FILE` and `--resume`; see
+ * docs/RESILIENCE.md for the journal format and resume semantics.
+ *
+ * Exit codes: 0 success; 1 a run that executed but failed (lint
+ * errors, metrics mismatch, quarantined shards, failed AIB
+ * validation, refused resume); 2 usage errors (unknown subcommand,
+ * flag, --device or --faults value, malformed numbers).
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -41,12 +57,14 @@
 #include "bender/lint.h"
 #include "bender/trace.h"
 #include "core/programs.h"
+#include "core/sweep.h"
 #include "core/re_adjacency.h"
 #include "core/re_coupled.h"
 #include "core/re_polarity.h"
 #include "core/re_retention.h"
 #include "core/re_subarray.h"
 #include "dram/chip.h"
+#include "dram/faulty_device.h"
 #include "dram/hbm_stack.h"
 #include "mapping/dimm.h"
 #include "util/metrics.h"
@@ -56,38 +74,89 @@ using namespace dramscope;
 
 namespace {
 
+/** Parsed command-line flags (see the usage text). */
+struct Flags
+{
+    std::string trace;       //!< --trace=FILE (JSONL command trace).
+    std::string device;      //!< --device=chip|dimm|hbm[:N].
+    std::string faults;      //!< --faults=SPEC (fault injection).
+    std::string checkpoint;  //!< --checkpoint=FILE (shard journal).
+    bool resume = false;     //!< --resume (skip journaled shards).
+    unsigned jobs = 0;       //!< --jobs=N (0 = DRAMSCOPE_JOBS / hw).
+    uint64_t seed = 0x5eedULL;  //!< --seed=S (shard RNG base seed).
+    uint32_t retries = 3;    //!< --retries=K (attempts per shard).
+    uint64_t timeoutMs = 0;  //!< --timeout-ms=T (shard watchdog).
+};
+
+/**
+ * Parses a strictly unsigned decimal argument; exits with a
+ * diagnostic on anything else (a silent atoll(...)=0 would turn a
+ * typo into a plausible-looking run).
+ */
+uint64_t
+parseU64OrExit(const std::string &arg, const char *what)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || arg[0] == '-' || errno != 0) {
+        std::fprintf(stderr, "error: bad %s '%s' (expected an "
+                             "unsigned integer)\n",
+                     what, arg.c_str());
+        std::exit(2);
+    }
+    return uint64_t(v);
+}
+
+/**
+ * Parses the --faults spec; exits with a diagnostic on a malformed
+ * clause.  The empty string yields an empty (inject-nothing) spec.
+ */
+dram::FaultSpec
+parseFaultsOrExit(const std::string &spec)
+{
+    std::string error;
+    auto parsed = dram::FaultSpec::parse(spec, &error);
+    if (!parsed) {
+        std::fprintf(stderr, "error: bad --faults: %s\n",
+                     error.c_str());
+        std::exit(2);
+    }
+    return *parsed;
+}
+
 /**
  * The device behind the command interface, owned by the subcommand:
- * built from a preset configuration and a `--device=` spec.
+ * built from a preset configuration, a `--device=` spec and an
+ * optional `--faults=` wrap.
  */
 struct DeviceUnderTest
 {
     std::unique_ptr<dram::Chip> chip;
     std::unique_ptr<mapping::Dimm> dimm;
     std::unique_ptr<dram::HbmStack> hbm;
+    std::unique_ptr<dram::FaultyDevice> faulty;
     dram::Device *dev = nullptr;
 };
 
 /**
  * Builds the backend selected by @p spec ("chip", "dimm",
- * "hbm[:channel]") for @p cfg.  Exits with a diagnostic on an unknown
+ * "hbm[:channel]") for @p cfg, wrapped in a FaultyDevice when
+ * @p faults injects anything.  Exits with a diagnostic on an unknown
  * spec or an out-of-range HBM channel.
  */
 DeviceUnderTest
-makeDevice(const dram::DeviceConfig &cfg, const std::string &spec)
+makeDevice(const dram::DeviceConfig &cfg, const std::string &spec,
+           const dram::FaultSpec &faults = {})
 {
     DeviceUnderTest d;
     if (spec.empty() || spec == "chip") {
         d.chip = std::make_unique<dram::Chip>(cfg);
         d.dev = d.chip.get();
-        return d;
-    }
-    if (spec == "dimm") {
+    } else if (spec == "dimm") {
         d.dimm = std::make_unique<mapping::Dimm>(cfg);
         d.dev = d.dimm.get();
-        return d;
-    }
-    if (spec.rfind("hbm", 0) == 0) {
+    } else if (spec.rfind("hbm", 0) == 0) {
         uint32_t channel = 0;
         if (spec.size() > 3) {
             if (spec[3] != ':') {
@@ -95,7 +164,8 @@ makeDevice(const dram::DeviceConfig &cfg, const std::string &spec)
                              spec.c_str());
                 std::exit(2);
             }
-            channel = uint32_t(std::atol(spec.c_str() + 4));
+            channel =
+                uint32_t(parseU64OrExit(spec.substr(4), "HBM channel"));
         }
         d.hbm = std::make_unique<dram::HbmStack>(cfg);
         if (channel >= d.hbm->channelCount()) {
@@ -105,12 +175,17 @@ makeDevice(const dram::DeviceConfig &cfg, const std::string &spec)
             std::exit(2);
         }
         d.dev = &d.hbm->channel(channel);
-        return d;
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown --device '%s' (chip|dimm|hbm[:N])\n",
+                     spec.c_str());
+        std::exit(2);
     }
-    std::fprintf(stderr,
-                 "error: unknown --device '%s' (chip|dimm|hbm[:N])\n",
-                 spec.c_str());
-    std::exit(2);
+    if (!faults.empty()) {
+        d.faulty = std::make_unique<dram::FaultyDevice>(*d.dev, faults);
+        d.dev = d.faulty.get();
+    }
+    return d;
 }
 
 int
@@ -130,10 +205,15 @@ usage()
         "workload\n"
         "  lint <preset> [name]          static analysis of built-in "
         "programs\n"
+        "  sweep <preset> [shards] [n]   resilient BER sweep\n"
         "hammer/press/rowcopy accept --trace=FILE (JSONL command "
         "trace)\n"
         "device commands accept --device=chip|dimm|hbm[:channel] "
-        "(default chip)\n");
+        "(default chip)\n"
+        "device commands accept --faults=SPEC (fault injection; see "
+        "docs/RESILIENCE.md)\n"
+        "sweep accepts --jobs=N --seed=S --retries=K --timeout-ms=T "
+        "--checkpoint=FILE --resume\n");
     return 2;
 }
 
@@ -211,13 +291,13 @@ cmdInspect(const std::string &preset)
 
 int
 cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
-          bool press, const std::string &trace_path,
-          const std::string &device_spec)
+          bool press, const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
-    auto dut = makeDevice(cfg, device_spec);
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
-    const auto trace = maybeAttachTrace(host, trace_path);
+    const auto trace = maybeAttachTrace(host, flags.trace);
 
     // Probe a wide window: internal remapping can place the physical
     // neighbours several logical rows away (common pitfall 2).
@@ -250,20 +330,20 @@ cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
     if (trace) {
         std::printf("trace: %llu commands -> %s\n",
                     (unsigned long long)trace->written(),
-                    trace_path.c_str());
+                    flags.trace.c_str());
     }
-    return 0;
+    return trace && trace->failed() ? 1 : 0;
 }
 
 int
 cmdRowCopy(const std::string &preset, dram::RowAddr src,
-           dram::RowAddr dst, const std::string &trace_path,
-           const std::string &device_spec)
+           dram::RowAddr dst, const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
-    auto dut = makeDevice(cfg, device_spec);
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
-    const auto trace = maybeAttachTrace(host, trace_path);
+    const auto trace = maybeAttachTrace(host, flags.trace);
     core::SubarrayMapper mapper(host);
     bool inverted = false;
     const auto outcome = mapper.probeCopy(src, dst, &inverted);
@@ -277,17 +357,18 @@ cmdRowCopy(const std::string &preset, dram::RowAddr src,
     if (trace) {
         std::printf("trace: %llu commands -> %s\n",
                     (unsigned long long)trace->written(),
-                    trace_path.c_str());
+                    flags.trace.c_str());
     }
-    return 0;
+    return trace && trace->failed() ? 1 : 0;
 }
 
 int
 cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count,
-         const std::string &device_spec)
+         const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
-    auto dut = makeDevice(cfg, device_spec);
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
     obs::MetricsRegistry metrics;
     host.setMetrics(&metrics);
@@ -363,10 +444,11 @@ cmdLint(const std::string &preset, const std::string &name)
 }
 
 int
-cmdRetention(const std::string &preset, const std::string &device_spec)
+cmdRetention(const std::string &preset, const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
-    auto dut = makeDevice(cfg, device_spec);
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
     core::RetentionProfiler profiler(host);
     const auto profile = profiler.profile();
@@ -383,10 +465,11 @@ cmdRetention(const std::string &preset, const std::string &device_spec)
 }
 
 int
-cmdReport(const std::string &preset, const std::string &device_spec)
+cmdReport(const std::string &preset, const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
-    auto dut = makeDevice(cfg, device_spec);
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
 
     std::printf("reverse-engineering %s ...\n", preset.c_str());
@@ -407,10 +490,9 @@ cmdReport(const std::string &preset, const std::string &device_spec)
                 "%sinverted\n",
                 d.sectionRows, d.edgePairConfirmed ? "yes" : "no",
                 d.copyInvertsData ? "" : "NOT ");
+    const bool aib_ok = subarrays.aibCrossCheckBoundary(d.heights.at(0));
     std::printf("  AIB validation of first boundary: %s\n",
-                subarrays.aibCrossCheckBoundary(d.heights.at(0))
-                    ? "confirmed"
-                    : "FAILED");
+                aib_ok ? "confirmed" : "FAILED");
 
     core::CoupledOptions copts;
     copts.probeRow = 1200;
@@ -426,7 +508,132 @@ cmdReport(const std::string &preset, const std::string &device_spec)
                            d.heights.at(0) + d.heights.at(1) / 2});
     std::printf("  polarity: %s\n",
                 pol.mixed ? "true/anti interleaved" : "all true");
-    return 0;
+    // A failed AIB cross-check means the discovered layout is wrong —
+    // scripted pipelines must see that as a failure, not exit 0.
+    return aib_ok ? 0 : 1;
+}
+
+/**
+ * Resilient BER sweep: every shard hammers one aggressor row and
+ * reports the victim bit-flip count as its payload.  Exercises the
+ * full robustness stack — per-shard retry/quarantine, watchdog,
+ * checkpoint/resume and fault injection — and prints greppable
+ * `result ...` lines (one per shard, shard order) so CI can diff an
+ * interrupted-then-resumed run against an uninterrupted one.
+ */
+int
+cmdSweep(const std::string &preset, uint64_t shards, uint64_t hammers,
+         const Flags &flags)
+{
+    const auto cfg = dram::makePreset(preset);
+    const auto faults = parseFaultsOrExit(flags.faults);
+    if (!flags.device.empty() && flags.device != "chip" &&
+        flags.device != "dimm") {
+        // HBM channels are borrowed from a stack, which does not fit
+        // the sweep's owning replica factory.
+        std::fprintf(stderr,
+                     "error: sweep supports --device=chip|dimm only\n");
+        return 2;
+    }
+    // Shard s uses aggressor row 64 + 8*s; keep the probed window
+    // inside the bank.
+    const uint64_t top_row = 64 + 8 * (shards ? shards - 1 : 0) + 1;
+    if (shards == 0 || top_row >= cfg.rowsPerBank) {
+        std::fprintf(stderr,
+                     "error: shard count %llu out of range for %s "
+                     "(1..%u)\n",
+                     (unsigned long long)shards, preset.c_str(),
+                     (cfg.rowsPerBank - 66) / 8 + 1);
+        return 2;
+    }
+
+    auto dut = makeDevice(cfg, flags.device, faults);
+    bender::Host host(*dut.dev);
+    obs::MetricsRegistry metrics;
+    host.setMetrics(&metrics);
+
+    core::SweepOptions sopts;
+    sopts.jobs = flags.jobs;
+    sopts.seed = flags.seed;
+    const bool dimm = flags.device == "dimm";
+    sopts.deviceFactory = [&faults, dimm](const dram::DeviceConfig &c)
+        -> std::unique_ptr<dram::Device> {
+        std::unique_ptr<dram::Device> dev;
+        if (dimm)
+            dev = std::make_unique<mapping::Dimm>(c);
+        else
+            dev = std::make_unique<dram::Chip>(c);
+        if (!faults.empty())
+            dev = std::make_unique<dram::FaultyDevice>(std::move(dev),
+                                                       faults);
+        return dev;
+    };
+    core::SweepRunner runner(host, sopts);
+
+    core::ResilienceOptions ropts;
+    ropts.retry.maxAttempts = flags.retries ? flags.retries : 1;
+    ropts.shardTimeoutMs = flags.timeoutMs;
+    ropts.checkpointPath = flags.checkpoint;
+    ropts.resume = flags.resume;
+    ropts.tag = preset + "/" + flags.device + "/h" +
+                std::to_string(hammers) + "/" + faults.toString();
+
+    const auto unit = [hammers](core::ShardContext &ctx) {
+        auto &host = ctx.host;
+        const auto aggr = dram::RowAddr(64 + 8 * ctx.shard);
+        host.writeRowPattern(0, aggr - 1, ~0ULL);
+        host.writeRowPattern(0, aggr + 1, ~0ULL);
+        host.writeRowPattern(0, aggr, 0);
+        host.hammer(0, aggr, hammers);
+        uint64_t flips = 0;
+        for (const auto victim : {aggr - 1, aggr + 1}) {
+            const BitVec bits = host.readRowBits(0, victim);
+            flips += bits.size() - bits.popcount();
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "shard=%llu row=%u flips=%llu",
+                      (unsigned long long)ctx.shard, unsigned(aggr),
+                      (unsigned long long)flips);
+        return std::string(buf);
+    };
+
+    core::SweepReport report;
+    try {
+        report = runner.runResilient(uint32_t(shards), unit, ropts);
+    } catch (const core::ResumeError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    for (const auto &rec : report.shards) {
+        if (rec.status == core::ShardStatus::Quarantined) {
+            std::printf("result shard=%llu status=%s attempts=%u "
+                        "error=\"%s\"\n",
+                        (unsigned long long)rec.shard,
+                        core::toString(rec.status), rec.attempts,
+                        rec.error.c_str());
+        } else {
+            std::printf("result %s status=%s attempts=%u\n",
+                        rec.payload.c_str(), core::toString(rec.status),
+                        rec.attempts);
+        }
+    }
+    std::printf("sweep %llu shards: %llu executed, %llu resumed, "
+                "%llu retried, %llu quarantined, %llu timeout\n",
+                (unsigned long long)report.shards.size(),
+                (unsigned long long)report.executed,
+                (unsigned long long)report.resumed,
+                (unsigned long long)report.retries,
+                (unsigned long long)report.quarantined,
+                (unsigned long long)report.timeouts);
+    const auto snap = metrics.snapshot();
+    for (const auto &[name, value] : snap.counters) {
+        if (name.rfind("faults.", 0) == 0 ||
+            name.rfind("sweep.", 0) == 0)
+            std::printf("metric %s %llu\n", name.c_str(),
+                        (unsigned long long)value);
+    }
+    return report.complete() ? 0 : 1;
 }
 
 } // namespace
@@ -434,19 +641,43 @@ cmdReport(const std::string &preset, const std::string &device_spec)
 int
 main(int argc, char **argv)
 {
-    // Split flags (--trace=FILE, --device=SPEC) from positional
-    // arguments.
+    // Split flags from positional arguments.  Unknown flags are usage
+    // errors: a mistyped --resune silently ignored would rerun every
+    // shard of the checkpoint the user meant to resume.
     std::vector<std::string> args;
-    std::string trace_path;
-    std::string device_spec;
+    Flags flags;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--trace=", 0) == 0)
-            trace_path = arg.substr(8);
-        else if (arg.rfind("--device=", 0) == 0)
-            device_spec = arg.substr(9);
-        else
+        if (arg.rfind("--", 0) != 0) {
             args.push_back(arg);
+            continue;
+        }
+        if (arg.rfind("--trace=", 0) == 0)
+            flags.trace = arg.substr(8);
+        else if (arg.rfind("--device=", 0) == 0)
+            flags.device = arg.substr(9);
+        else if (arg.rfind("--faults=", 0) == 0)
+            flags.faults = arg.substr(9);
+        else if (arg.rfind("--checkpoint=", 0) == 0)
+            flags.checkpoint = arg.substr(13);
+        else if (arg == "--resume")
+            flags.resume = true;
+        else if (arg.rfind("--jobs=", 0) == 0)
+            flags.jobs =
+                unsigned(parseU64OrExit(arg.substr(7), "--jobs"));
+        else if (arg.rfind("--seed=", 0) == 0)
+            flags.seed = parseU64OrExit(arg.substr(7), "--seed");
+        else if (arg.rfind("--retries=", 0) == 0)
+            flags.retries =
+                uint32_t(parseU64OrExit(arg.substr(10), "--retries"));
+        else if (arg.rfind("--timeout-ms=", 0) == 0)
+            flags.timeoutMs =
+                parseU64OrExit(arg.substr(13), "--timeout-ms");
+        else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
     }
 
     if (args.empty())
@@ -459,31 +690,40 @@ main(int argc, char **argv)
         if (cmd == "inspect")
             return cmdInspect(preset);
         if (cmd == "retention")
-            return cmdRetention(preset, device_spec);
+            return cmdRetention(preset, flags);
         if (cmd == "report")
-            return cmdReport(preset, device_spec);
+            return cmdReport(preset, flags);
         if (cmd == "lint")
             return cmdLint(preset, args.size() > 2 ? args[2] : "");
         if (cmd == "stats") {
-            const auto row = args.size() > 2
-                                 ? dram::RowAddr(std::atoll(args[2].c_str()))
-                                 : dram::RowAddr(1000);
+            const auto row =
+                args.size() > 2
+                    ? dram::RowAddr(parseU64OrExit(args[2], "row"))
+                    : dram::RowAddr(1000);
             const auto n = args.size() > 3
-                               ? uint64_t(std::atoll(args[3].c_str()))
+                               ? parseU64OrExit(args[3], "count")
                                : uint64_t(10000);
-            return cmdStats(preset, row, n, device_spec);
+            return cmdStats(preset, row, n, flags);
         }
         if ((cmd == "hammer" || cmd == "press") && args.size() == 4) {
             return cmdAttack(preset,
-                             dram::RowAddr(std::atoll(args[2].c_str())),
-                             uint64_t(std::atoll(args[3].c_str())),
-                             cmd == "press", trace_path, device_spec);
+                             dram::RowAddr(parseU64OrExit(args[2], "row")),
+                             parseU64OrExit(args[3], "count"),
+                             cmd == "press", flags);
         }
         if (cmd == "rowcopy" && args.size() == 4) {
-            return cmdRowCopy(preset,
-                              dram::RowAddr(std::atoll(args[2].c_str())),
-                              dram::RowAddr(std::atoll(args[3].c_str())),
-                              trace_path, device_spec);
+            return cmdRowCopy(
+                preset, dram::RowAddr(parseU64OrExit(args[2], "src row")),
+                dram::RowAddr(parseU64OrExit(args[3], "dst row")), flags);
+        }
+        if (cmd == "sweep") {
+            const auto shards = args.size() > 2
+                                    ? parseU64OrExit(args[2], "shards")
+                                    : uint64_t(8);
+            const auto n = args.size() > 3
+                               ? parseU64OrExit(args[3], "count")
+                               : uint64_t(200000);
+            return cmdSweep(preset, shards, n, flags);
         }
     }
     return usage();
