@@ -81,17 +81,18 @@ BM_BulkHammerDevirt(benchmark::State &state)
     dram::Chip chip(benchConfig());
     bender::Host host(chip);
     host.writeRowPattern(0, 1000, ~0ULL);
-    const uint64_t count = 100000;
-    const double open_ns = 33.75;
-    const double period_ns = 50.0;
+    dram::ActTrain train;
+    train.bank = 0;
+    train.row = 1001;
+    train.count = 100000;
+    train.openPs = 35000;  // Whole-ns open/period: the batched path.
+    train.periodPs = 50000;
+    const uint64_t count = train.count;
     if (state.range(0) == 0) {
         // Direct call on the concrete type (static dispatch).
         for (auto _ : state) {
-            const auto start = host.now();
-            const auto last_pre = dram::NanoTime(
-                start + dram::NanoTime((double(count - 1) * period_ns +
-                                        open_ns)));
-            chip.actMany(0, 1001, count, open_ns, start, last_pre);
+            train.startPs = int64_t(host.now()) * 1000;
+            chip.actMany(train);
             chip.refresh(host.now());
         }
     } else {
@@ -101,11 +102,8 @@ BM_BulkHammerDevirt(benchmark::State &state)
         dram::Device *dev = &chip;
         benchmark::DoNotOptimize(dev);
         for (auto _ : state) {
-            const auto start = host.now();
-            const auto last_pre = dram::NanoTime(
-                start + dram::NanoTime((double(count - 1) * period_ns +
-                                        open_ns)));
-            dev->actMany(0, 1001, count, open_ns, start, last_pre);
+            train.startPs = int64_t(host.now()) * 1000;
+            dev->actMany(train);
             dev->refresh(host.now());
         }
     }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "dram/faulty_device.h"
 #include "util/log.h"
 
 namespace dramscope {
@@ -14,7 +15,8 @@ namespace bender {
 
 Host::Host(dram::Device &dev)
     : dev_(dev), tck_ps_(psFromNs(dev.config().timing.tCkNs)),
-      lint_mode_(lint::modeFromEnv())
+      lint_mode_(lint::modeFromEnv()),
+      fastpath_mode_(dram::fastPathModeFromEnv())
 {
 }
 
@@ -115,44 +117,39 @@ Host::observeViolations()
     violations_seen_ = total;
 }
 
-bool
-Host::matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
-                      size_t end, dram::BankId &bank, dram::RowAddr &row,
-                      int64_t &open_ps, int64_t &period_ps) const
+void
+Host::execCertifiedLoop(const lint::LoopCertificate &cert, uint64_t count,
+                        ExecResult &result)
 {
-    // Accepted shape: Act(b, r) {Nop|SleepNs}* Pre(b) {Nop|SleepNs}*.
-    size_t i = begin;
-    if (i >= end || instrs[i].op != Opcode::Act)
-        return false;
-    bank = instrs[i].bank;
-    row = instrs[i].row;
-    int64_t t = tck_ps_;  // The ACT slot itself.
-    ++i;
-    while (i < end && (instrs[i].op == Opcode::Nop ||
-                       instrs[i].op == Opcode::SleepNs)) {
-        t += instrs[i].op == Opcode::Nop
-                 ? int64_t(instrs[i].count) * tck_ps_
-                 : instrs[i].ps;
-        ++i;
+    dram::ActTrain train;
+    train.bank = cert.bank;
+    train.row = cert.row;
+    train.count = count;
+    train.startPs = now_ps_;
+    train.openPs = cert.openPs;
+    train.periodPs = cert.periodPs;
+    const double start_ns = nowNsF();
+    try {
+        if (fastpath_mode_ == dram::FastPathMode::Analytic)
+            dev_.actManyAnalytic(train);
+        else
+            dev_.actMany(train);
+    } catch (const dram::FaultError &e) {
+        // Rewind to the faulting command's issue slot: step-wise
+        // execution would have stopped there with the clock not yet
+        // advanced past it.
+        const uint64_t done = e.trainCommandsDone;
+        now_ps_ = train.startPs + int64_t(done / 2) * train.periodPs +
+                  (done % 2 ? train.openPs : 0);
+        result.commandsIssued += done;
+        throw;
     }
-    if (i >= end || instrs[i].op != Opcode::Pre ||
-        instrs[i].bank != bank) {
-        return false;
+    now_ps_ += int64_t(count) * train.periodPs;
+    result.commandsIssued += 2 * count;
+    if (observing()) {
+        observeBulkHammer(train.bank, train.row, count, train.openNs(),
+                          train.periodNs(), start_ns);
     }
-    open_ps = t;
-    t += tck_ps_;
-    ++i;
-    while (i < end && (instrs[i].op == Opcode::Nop ||
-                       instrs[i].op == Opcode::SleepNs)) {
-        t += instrs[i].op == Opcode::Nop
-                 ? int64_t(instrs[i].count) * tck_ps_
-                 : instrs[i].ps;
-        ++i;
-    }
-    if (i != end)
-        return false;
-    period_ps = t;
-    return true;
 }
 
 void
@@ -226,30 +223,12 @@ Host::execRange(const std::vector<Instr> &instrs, size_t begin, size_t end,
             }
             panicIf(depth != 0, "Host: unbalanced loop (validate?)");
 
-            dram::BankId bank;
-            dram::RowAddr row;
-            int64_t open_ps, period_ps;
-            if (matchHammerBody(instrs, i + 1, body_end, bank, row,
-                                open_ps, period_ps)) {
-                const uint64_t count = ins.count;
-                const dram::NanoTime start = now();
-                // The last PRE is issued open_ps into the final
-                // iteration, not at the loop end.  Integer ps math:
-                // the clock advances by exactly count * period.
-                const double start_ns = nowNsF();
-                const double open_ns = double(open_ps) / 1000.0;
-                const double period_ns = double(period_ps) / 1000.0;
-                const auto last_pre = dram::NanoTime(
-                    (now_ps_ + int64_t(count - 1) * period_ps + open_ps) /
-                    1000);
-                now_ps_ += int64_t(count) * period_ps;
-                dev_.actMany(bank, row, count, open_ns, start,
-                             last_pre);
-                result.commandsIssued += 2 * count;
-                if (observing()) {
-                    observeBulkHammer(bank, row, count, open_ns,
-                                      period_ns, start_ns);
-                }
+            std::optional<lint::LoopCertificate> cert;
+            if (fastpath_mode_ != dram::FastPathMode::Off && ins.count > 0)
+                cert = lint::certifyHammerLoop(instrs, i + 1, body_end,
+                                               config());
+            if (cert) {
+                execCertifiedLoop(*cert, ins.count, result);
             } else {
                 for (uint64_t k = 0; k < ins.count; ++k)
                     execRange(instrs, i + 1, body_end, result);

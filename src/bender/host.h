@@ -58,9 +58,14 @@ class Host
     void waitMs(double ms) { now_ps_ += int64_t(std::llround(ms * 1.0e9)); }
 
     /**
-     * Executes a program.  Loops whose body is a constant-address
-     * ACT..PRE kernel run through the device's bulk fast path; all
-     * other programs execute slot by slot.
+     * Executes a program.  Loops that bender::lint certifies as
+     * constant-duration hammer kernels (lint::certifyHammerLoop) run
+     * through the device's bulk fast path — bit-exact batched replay
+     * (FastPathMode::Exact, the default) or analytic aggregate-dose
+     * sampling (Analytic); FastPathMode::Off and all uncertified
+     * loops execute slot by slot.  The mode comes from the
+     * DRAMSCOPE_FASTPATH environment variable at construction and
+     * can be overridden with setFastPathMode().
      *
      * When the environment selects a lint mode (DRAMSCOPE_LINT=warn
      * or =error, read once at Host construction), every program is
@@ -225,6 +230,16 @@ class Host
 
     /// @}
 
+    /**
+     * Overrides the fast-forward mode (see run()).  SweepRunner
+     * copies the caller host's mode onto every replica, so a sweep
+     * runs one mode end to end regardless of sharding.
+     */
+    void setFastPathMode(dram::FastPathMode mode) { fastpath_mode_ = mode; }
+
+    /** The active fast-forward mode. */
+    dram::FastPathMode fastPathMode() const { return fastpath_mode_; }
+
     /** The device under test. */
     dram::Device &device() { return dev_; }
     const dram::Device &device() const { return dev_; }
@@ -248,16 +263,14 @@ class Host
                    size_t end, ExecResult &result);
 
     /**
-     * Detects a constant-address hammer kernel body.  On success sets
-     * the bank/row outputs and the open-time/period in integer
-     * picoseconds (summed from the slots' stored integers, so the
-     * bulk path advances the clock exactly like slot-by-slot
-     * execution would).
+     * Hands one certified loop to the device's bulk fast path and
+     * advances the clock by exactly count * period.  When a fault
+     * aborts the train the clock rewinds to the faulting command's
+     * issue slot before rethrowing, exactly where step-wise
+     * execution would have stopped.
      */
-    bool matchHammerBody(const std::vector<Instr> &instrs, size_t begin,
-                         size_t end, dram::BankId &bank,
-                         dram::RowAddr &row, int64_t &open_ps,
-                         int64_t &period_ps) const;
+    void execCertifiedLoop(const lint::LoopCertificate &cert,
+                           uint64_t count, ExecResult &result);
 
     /**
      * Lints @p prog before execution (mode Warn or Error): updates
@@ -292,6 +305,7 @@ class Host
     int64_t now_ps_ = 1'000'000;  //!< Start past 0 to keep gaps positive.
     int64_t tck_ps_;
     lint::Mode lint_mode_;  //!< Pre-flight mode (env, read once).
+    dram::FastPathMode fastpath_mode_;  //!< Loop engine (env, read once).
 
     obs::MetricsRegistry *metrics_ = nullptr;
     obs::TraceSink *trace_ = nullptr;

@@ -519,6 +519,52 @@ lint(const Program &prog, const dram::DeviceConfig &cfg)
     return report;
 }
 
+std::optional<LoopCertificate>
+certifyHammerLoop(const std::vector<Instr> &instrs, size_t begin,
+                  size_t end, const dram::DeviceConfig &cfg)
+{
+    // The ISA has no data-dependent timing, so a body of this shape
+    // is constant-duration by construction; the only state it touches
+    // per iteration is its own bank's ACT-PRE cycle (side-effect
+    // regular).  Anything else — other opcodes, nested loops, a
+    // second bank — falls back to slot-by-slot execution.
+    const int64_t tck_ps =
+        int64_t(std::llround(cfg.timing.tCkNs * 1000.0));
+    size_t i = begin;
+    if (i >= end || instrs[i].op != Opcode::Act)
+        return std::nullopt;
+    LoopCertificate cert;
+    cert.bank = instrs[i].bank;
+    cert.row = instrs[i].row;
+    int64_t t = tck_ps;  // The ACT slot itself.
+    ++i;
+    while (i < end && (instrs[i].op == Opcode::Nop ||
+                       instrs[i].op == Opcode::SleepNs)) {
+        t += instrs[i].op == Opcode::Nop
+                 ? int64_t(instrs[i].count) * tck_ps
+                 : instrs[i].ps;
+        ++i;
+    }
+    if (i >= end || instrs[i].op != Opcode::Pre ||
+        instrs[i].bank != cert.bank) {
+        return std::nullopt;
+    }
+    cert.openPs = t;
+    t += tck_ps;
+    ++i;
+    while (i < end && (instrs[i].op == Opcode::Nop ||
+                       instrs[i].op == Opcode::SleepNs)) {
+        t += instrs[i].op == Opcode::Nop
+                 ? int64_t(instrs[i].count) * tck_ps
+                 : instrs[i].ps;
+        ++i;
+    }
+    if (i != end)
+        return std::nullopt;
+    cert.periodPs = t;
+    return cert;
+}
+
 } // namespace lint
 } // namespace bender
 } // namespace dramscope

@@ -35,6 +35,7 @@
 #define DRAMSCOPE_BENDER_LINT_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,33 @@ Report lint(const Program &prog, const dram::DeviceConfig &cfg);
  * Error entries of this list.
  */
 std::vector<Diagnostic> structuralDiagnostics(const Program &prog);
+
+/**
+ * A certified constant-duration hammer-loop body: the handshake
+ * between the linter and bender::Host's fast-forward engine.  The
+ * certificate pins everything the batched train needs — the constant
+ * bank/row and the body's integer-picosecond open time and period,
+ * summed from the slots' stored integers so a fast-forwarded clock
+ * lands exactly where slot-by-slot execution would.
+ */
+struct LoopCertificate
+{
+    dram::BankId bank = 0;
+    dram::RowAddr row = 0;
+    int64_t openPs = 0;    //!< ACT-to-PRE issue distance.
+    int64_t periodPs = 0;  //!< Whole-body (ACT-to-ACT) duration.
+};
+
+/**
+ * Certifies a loop body as a constant-address, constant-duration,
+ * side-effect-regular hammer kernel that fast-forwarding replays
+ * exactly: Act(b, r) {Nop|SleepNs}* Pre(b) {Nop|SleepNs}* and
+ * nothing else.  @p begin / @p end delimit the body (exclusive of
+ * the Loop markers).  Returns nullopt for any other shape.
+ */
+std::optional<LoopCertificate>
+certifyHammerLoop(const std::vector<Instr> &instrs, size_t begin,
+                  size_t end, const dram::DeviceConfig &cfg);
 
 /** Pre-flight modes of bender::Host (env DRAMSCOPE_LINT). */
 enum class Mode : uint8_t

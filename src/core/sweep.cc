@@ -458,6 +458,10 @@ SweepRunner::forEachShard(uint32_t shards,
                 factory_ ? factory_(cfg)
                          : std::make_unique<dram::Chip>(cfg));
         }
+        // One fast-forward mode end to end: replicas inherit the
+        // caller host's mode, not whatever the env said at their
+        // construction.
+        replica->host.setFastPathMode(host_.fastPathMode());
         if (want_metrics) {
             if (!replica->host.metrics())
                 replica->host.setMetrics(&replica->metrics);

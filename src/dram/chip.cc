@@ -202,42 +202,139 @@ Chip::refresh(NanoTime now)
     ++stats_.refs;
 }
 
-void
-Chip::actMany(BankId b, RowAddr logical_row, uint64_t count,
-              double open_ns, NanoTime start, NanoTime last_pre)
+bool
+Chip::trainBatchable(const ActTrain &t) const
 {
-    if (count == 0)
+    // Per-iteration dwell and gap are differences of truncated-ns
+    // timestamps: they are only iteration-independent when the open
+    // and period are whole nanoseconds (every in-tree kernel is).
+    if (t.openPs % 1000 != 0 || t.periodPs % 1000 != 0)
+        return false;
+    // A period reaching the retention evaluation window would let
+    // mid-train restores find decays the batched math skips.
+    return t.periodNs() < cfg_.retention.minEvalElapsedMs * 1.0e6;
+}
+
+void
+Chip::replayTrain(const ActTrain &t)
+{
+    for (uint64_t k = 0; k < t.count; ++k) {
+        act(t.bank, t.row, t.actNs(k));
+        pre(t.bank, t.preNs(k));
+    }
+}
+
+void
+Chip::runTrain(const ActTrain &t, bool analytic)
+{
+    if (t.count == 0)
         return;
-    BankFsm &f = fsm_.at(b);
-    Bank &bk = *banks_[b];
+    BankFsm &f = fsm_.at(t.bank);
     if (f.state == BankState::Open) {
-        violate("actMany to open bank", start);
+        violate("actMany to open bank", t.startNs());
         return;
     }
-    const RowAddr phys = toPhysical(logical_row);
+    if (!trainBatchable(t)) {
+        replayTrain(t);
+        return;
+    }
+
+    Bank &bk = *banks_[t.bank];
+    const RowAddr phys = toPhysical(t.row);
     const auto partner = coupledPartner(phys);
+    const NanoTime first_act = t.actNs(0);
+    const NanoTime first_pre = t.preNs(0);
+    const NanoTime last_act = t.lastActNs();
+    const double dwell_ns = double(t.openPs / 1000);
+    const double gap_ns = double((t.periodPs - t.openPs) / 1000);
 
-    bk.restoreRow(phys, start);
+    // First ACT: restore, then the boundary RowCopy check against
+    // the previous PRE — the exact act() sequence.
+    bk.restoreRow(phys, first_act);
     if (partner)
-        bk.restoreRow(*partner, start);
+        bk.restoreRow(*partner, first_act);
+    const double gap0_ns = double(first_act - f.preTime);
+    if (f.hasLastRow && gap0_ns >= 0 &&
+        gap0_ns < cfg_.timing.rowCopyMaxGapNs) {
+        violate("ACT within tRP (RowCopy)", first_act);
+        bk.applyRowCopy(f.lastRow, phys, first_act);
+        if (partner && f.lastHadPartner)
+            bk.applyRowCopy(f.lastPartner, *partner, first_act);
+    }
 
-    bk.registerAggressorDwell(phys, double(count), open_ns, start);
-    if (partner)
-        bk.registerAggressorDwell(*partner, double(count), open_ns, start);
+    // Per-iteration violations keep step-wise order and timestamps.
+    // A mid-train ACT inside the RowCopy gap re-activates the row the
+    // bitlines already hold: applyRowCopy(r, r) transfers nothing, so
+    // only the violation record remains.
+    const bool pre_violates = dwell_ns < cfg_.timing.tRasNs;
+    const bool act_violates = gap_ns < cfg_.timing.rowCopyMaxGapNs;
+    if (pre_violates || act_violates) {
+        for (uint64_t k = 0; k < t.count; ++k) {
+            if (k > 0 && act_violates)
+                violate("ACT within tRP (RowCopy)", t.actNs(k));
+            if (pre_violates)
+                violate("PRE within tRAS", t.preNs(k));
+        }
+    }
 
+    // Victims materialize at the first PRE (where the step-wise
+    // engine first registers a dwell); pendings are integer sums, so
+    // one batched addition is exact.
+    if (analytic) {
+        bk.applyAggregateDose(phys, double(t.count), dwell_ns, first_pre);
+        if (partner)
+            bk.applyAggregateDose(*partner, double(t.count), dwell_ns,
+                                  first_pre);
+    } else {
+        bk.registerAggressorDwell(phys, double(t.count), dwell_ns,
+                                  first_pre);
+        if (partner)
+            bk.registerAggressorDwell(*partner, double(t.count), dwell_ns,
+                                      first_pre);
+    }
+    if (t.count > 1) {
+        // Mid-train restores of the aggressor commit nothing (no
+        // pending lands on a single-row train's own aggressor and the
+        // retention window exceeds the period); only the final ACT's
+        // restore timestamp survives.
+        bk.markRestored(phys, last_act);
+        if (partner)
+            bk.markRestored(*partner, last_act);
+    }
+
+    // Leave every FSM field exactly where slot-by-slot execution
+    // would: the last ACT wrote the open-row view, the last PRE
+    // closed the bank.
+    f.openRow = phys;
+    f.hasPartner = partner.has_value();
+    f.partnerRow = partner.value_or(0);
+    f.actTime = last_act;
+    f.wrBarrierDone = false;
     f.hasLastRow = true;
     f.lastRow = phys;
     f.lastHadPartner = partner.has_value();
     f.lastPartner = partner.value_or(0);
-    f.preTime = last_pre;
+    f.preTime = t.lastPreNs();
     f.state = BankState::Idle;
 
-    stats_.acts += count;
-    stats_.pres += count;
+    stats_.acts += t.count;
+    stats_.pres += t.count;
     uint64_t per_act = wordlineCost(phys);
     if (partner)
         per_act += wordlineCost(*partner);
-    stats_.wordlinesDriven += per_act * count;
+    stats_.wordlinesDriven += per_act * t.count;
+}
+
+void
+Chip::actMany(const ActTrain &t)
+{
+    runTrain(t, /*analytic=*/false);
+}
+
+void
+Chip::actManyAnalytic(const ActTrain &t)
+{
+    runTrain(t, /*analytic=*/true);
 }
 
 bool

@@ -75,16 +75,23 @@ class Chip final : public Device
     void refresh(NanoTime now) override;
 
     /**
-     * Bulk hammering fast path: semantically identical to @p count
-     * repetitions of ACT(row), wait @p open_ns, PRE, wait tRP, with
-     * no other commands interleaved.  The bank must start and ends
-     * precharged.
-     * @param start Time of the first ACT.
-     * @param last_pre Time the last PRE command is issued.
+     * Bulk hammering fast path, bit-exact: replays the whole train's
+     * FSM transitions, per-iteration violation records, physics
+     * bookkeeping and stats in one batched update, proven
+     * byte-identical to slot-by-slot execution.  Trains whose
+     * timestamps the batched math cannot reproduce exactly
+     * (sub-picosecond-of-ns timing, periods reaching the retention
+     * evaluation window) fall back to an internal per-iteration
+     * replay — still exact, just not fast.
      */
-    void actMany(BankId b, RowAddr logical_row, uint64_t count,
-                 double open_ns, NanoTime start,
-                 NanoTime last_pre) override;
+    void actMany(const ActTrain &train) override;
+
+    /**
+     * Bulk hammering fast path, analytic: same FSM/violation/stats
+     * replay, but the disturbance dose commits immediately through
+     * Bank::applyAggregateDose (sampled for large trains).
+     */
+    void actManyAnalytic(const ActTrain &train) override;
 
     /**
      * In-DRAM RFM/DRFM primitive: restores the AIB neighbours of
@@ -150,6 +157,15 @@ class Chip final : public Device
 
     /** Wordlines driven by activating @p phys_row (edge/coupling). */
     uint64_t wordlineCost(RowAddr phys_row) const;
+
+    /** True when the batched train math is bit-exact for @p train. */
+    bool trainBatchable(const ActTrain &train) const;
+
+    /** Per-iteration act()/pre() replay (exact fallback). */
+    void replayTrain(const ActTrain &train);
+
+    /** Shared exact/analytic batched train implementation. */
+    void runTrain(const ActTrain &train, bool analytic);
 
     DeviceConfig cfg_;
     std::unique_ptr<SubarrayMap> map_;

@@ -1,14 +1,50 @@
 /**
  * @file
- * Device interface out-of-line anchor (keeps one vtable per binary).
+ * Device interface out-of-line anchor (keeps one vtable per binary)
+ * and the fast-forward mode registry helpers.
  */
 
 #include "dram/device.h"
+
+#include <cstdlib>
 
 namespace dramscope {
 namespace dram {
 
 Device::~Device() = default;
+
+const char *
+toString(FastPathMode mode)
+{
+    switch (mode) {
+#define X(Enumerator, keyword, summary)                                 \
+      case FastPathMode::Enumerator:                                    \
+        return keyword;
+        DRAMSCOPE_FASTPATH_MODES(X)
+#undef X
+    }
+    return "off";
+}
+
+std::optional<FastPathMode>
+fastPathModeFromString(const std::string &s)
+{
+#define X(Enumerator, keyword, summary)                                 \
+    if (s == keyword)                                                   \
+        return FastPathMode::Enumerator;
+    DRAMSCOPE_FASTPATH_MODES(X)
+#undef X
+    return std::nullopt;
+}
+
+FastPathMode
+fastPathModeFromEnv()
+{
+    const char *env = std::getenv("DRAMSCOPE_FASTPATH");
+    if (!env)
+        return FastPathMode::Exact;
+    return fastPathModeFromString(env).value_or(FastPathMode::Exact);
+}
 
 } // namespace dram
 } // namespace dramscope

@@ -18,6 +18,7 @@
 #ifndef DRAMSCOPE_DRAM_DEVICE_H
 #define DRAMSCOPE_DRAM_DEVICE_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,83 @@ struct TimingViolation
 {
     std::string what;
     NanoTime when;
+};
+
+/**
+ * Fast-forward mode registry: X(Enumerator, keyword, summary).  The
+ * README's DRAMSCOPE_FASTPATH mode table documents exactly these
+ * keywords, in this order — tools/check_docs.py fails CI on drift.
+ */
+#define DRAMSCOPE_FASTPATH_MODES(X)                                     \
+    X(Off, "off",                                                       \
+      "hammer loops execute slot by slot (step-wise reference engine)") \
+    X(Exact, "exact",                                                   \
+      "certified loops batch into one train, bit-identical to off")     \
+    X(Analytic, "analytic",                                             \
+      "large trains commit one sampled aggregate dose per victim")
+
+/** How bender::Host executes certified constant-duration loops. */
+enum class FastPathMode : uint8_t
+{
+#define X(Enumerator, keyword, summary) Enumerator,
+    DRAMSCOPE_FASTPATH_MODES(X)
+#undef X
+};
+
+/** The spec keyword of a mode ("off", "exact", "analytic"). */
+const char *toString(FastPathMode mode);
+
+/** Parses a mode keyword; nullopt on an unknown string. */
+std::optional<FastPathMode> fastPathModeFromString(const std::string &s);
+
+/**
+ * Mode selected by the DRAMSCOPE_FASTPATH environment variable, read
+ * by bender::Host at construction.  Unset or unrecognized values
+ * select Exact: the batched train is proven bit-identical to the
+ * step-wise engine (tests/test_fastforward.cc), so it is the default.
+ */
+FastPathMode fastPathModeFromEnv();
+
+/**
+ * One certified bulk ACT train: @c count repetitions of ACT(row),
+ * wait @c openPs, PRE, wait (periodPs - openPs - tCK)... with no
+ * other commands interleaved and the bank starting precharged.
+ *
+ * All times are integer picoseconds of the host clock; the device
+ * sees truncated-ns timestamps through the helpers below, exactly
+ * the values a slot-by-slot execution would have produced.
+ */
+struct ActTrain
+{
+    BankId bank = 0;
+    RowAddr row = 0;      //!< Logical (host) row address.
+    uint64_t count = 0;   //!< ACT-PRE pairs.
+    int64_t startPs = 0;  //!< Host clock at the first ACT.
+    int64_t openPs = 0;   //!< ACT-to-PRE issue distance.
+    int64_t periodPs = 0; //!< ACT-to-ACT distance (whole body).
+
+    /** Open-row (ACT..PRE) time in ns. */
+    double openNs() const { return double(openPs) / 1000.0; }
+
+    /** Activation period in ns. */
+    double periodNs() const { return double(periodPs) / 1000.0; }
+
+    /** Issue time of the k-th ACT (truncated ns, like Host::now). */
+    NanoTime actNs(uint64_t k) const
+    {
+        return NanoTime((startPs + int64_t(k) * periodPs) / 1000);
+    }
+
+    /** Issue time of the k-th PRE. */
+    NanoTime preNs(uint64_t k) const
+    {
+        return NanoTime(
+            (startPs + int64_t(k) * periodPs + openPs) / 1000);
+    }
+
+    NanoTime startNs() const { return NanoTime(startPs / 1000); }
+    NanoTime lastActNs() const { return actNs(count ? count - 1 : 0); }
+    NanoTime lastPreNs() const { return preNs(count ? count - 1 : 0); }
 };
 
 /** Abstract command/data interface of one device under test. */
@@ -63,17 +141,25 @@ class Device
     virtual void refresh(NanoTime now) = 0;
 
     /**
-     * Bulk hammering fast path: semantically identical to @p count
-     * repetitions of ACT(row), wait @p open_ns, PRE, wait tRP, with
-     * no other commands interleaved.  One virtual call covers the
-     * whole loop, so the fast path never pays per-iteration dispatch.
-     * The bank must start and end precharged.
-     * @param start Time of the first ACT.
-     * @param last_pre Time the last PRE command is issued.
+     * Bulk hammering fast path, bit-exact: one virtual call replays
+     * the whole certified train with the same state transitions,
+     * violation records and physics bookkeeping as the equivalent
+     * slot-by-slot ACT/PRE sequence — so it never pays per-iteration
+     * dispatch but stays byte-identical to the step-wise engine.
+     * The bank must start (and therefore end) precharged.
      */
-    virtual void actMany(BankId b, RowAddr row, uint64_t count,
-                         double open_ns, NanoTime start,
-                         NanoTime last_pre) = 0;
+    virtual void actMany(const ActTrain &train) = 0;
+
+    /**
+     * Bulk hammering fast path, analytic: like actMany() but the
+     * accumulated disturbance dose of the train commits immediately
+     * through Bank::applyAggregateDose — exact per-cell threshold
+     * replay for small trains, Bernoulli sampling of the per-cell
+     * flip probability for large ones.  Statistically equivalent to
+     * the step-wise engine (see tests/test_fastforward.cc), and
+     * deterministic for a fixed seed.
+     */
+    virtual void actManyAnalytic(const ActTrain &train) = 0;
 
     /** Total timing violations recorded so far (never truncated). */
     virtual uint64_t violationCount() const = 0;

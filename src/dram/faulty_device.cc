@@ -225,15 +225,15 @@ FaultyDevice::countStuck(uint64_t n)
 }
 
 uint64_t
-FaultyDevice::onCommand(uint64_t weight)
+FaultyDevice::onCommand()
 {
     if (dead_)
         throw DeviceDeadError("device is dead (die:cmd=" +
                               std::to_string(spec_.dieAfterCommands) +
                               " reached)");
     const uint64_t cmd_seq = stream_commands_;
-    stream_commands_ += weight;
-    lifetime_commands_ += weight;
+    ++stream_commands_;
+    ++lifetime_commands_;
     if (spec_.dieAfterCommands > 0 &&
         lifetime_commands_ > spec_.dieAfterCommands) {
         dead_ = true;
@@ -245,14 +245,8 @@ FaultyDevice::onCommand(uint64_t weight)
             std::to_string(spec_.dieAfterCommands) + " commands");
     }
     if (spec_.dropRate > 0.0) {
-        // One draw per call; a bulk train of `weight` commands drops
-        // with its aggregate probability 1 - (1 - p)^weight.
-        const double p =
-            weight == 1
-                ? spec_.dropRate
-                : 1.0 - std::pow(1.0 - spec_.dropRate, double(weight));
         if (hashUniform(hashCombine(stream_key_, kDropTag), cmd_seq) <
-            p) {
+            spec_.dropRate) {
             ++counts_.drops;
             if (drop_counter_)
                 drop_counter_->add(1);
@@ -336,15 +330,95 @@ FaultyDevice::refresh(NanoTime now)
 }
 
 void
-FaultyDevice::actMany(BankId b, RowAddr row, uint64_t count,
-                      double open_ns, NanoTime start, NanoTime last_pre)
+FaultyDevice::actManyFaulted(const ActTrain &train, bool analytic)
 {
-    // The train stands for count ACT-PRE pairs.  When hard death
-    // lands inside the train the whole call is refused (the shard is
-    // lost either way, and a partial train would make the death point
-    // depend on bulk-path batching).
-    onCommand(2 * count);
-    inner_->actMany(b, row, count, open_ns, start, last_pre);
+    if (dead_)
+        throw DeviceDeadError("device is dead (die:cmd=" +
+                              std::to_string(spec_.dieAfterCommands) +
+                              " reached)");
+    const uint64_t total = 2 * train.count;
+
+    // First faulting command offset within the train, decided exactly
+    // as `total` step-wise onCommand() calls would decide it: death
+    // checks precede drop draws at every index.
+    uint64_t fault_at = total;
+    bool death = false;
+    if (spec_.dieAfterCommands > 0 &&
+        lifetime_commands_ + total > spec_.dieAfterCommands) {
+        fault_at = spec_.dieAfterCommands - lifetime_commands_;
+        death = true;
+    }
+    if (spec_.dropRate > 0.0) {
+        const uint64_t key = hashCombine(stream_key_, kDropTag);
+        for (uint64_t j = 0; j < fault_at; ++j) {
+            if (hashUniform(key, stream_commands_ + j) < spec_.dropRate) {
+                fault_at = j;
+                death = false;
+                break;
+            }
+        }
+    }
+
+    if (fault_at == total) {
+        stream_commands_ += total;
+        lifetime_commands_ += total;
+        if (analytic)
+            inner_->actManyAnalytic(train);
+        else
+            inner_->actMany(train);
+        return;
+    }
+
+    // Forward the fault-free prefix: complete pairs via the bulk
+    // path, plus the lone ACT when the fault lands on a PRE (the
+    // bank is left open, exactly as step-wise execution leaves it).
+    const uint64_t pairs = fault_at / 2;
+    if (pairs > 0) {
+        ActTrain head = train;
+        head.count = pairs;
+        if (analytic)
+            inner_->actManyAnalytic(head);
+        else
+            inner_->actMany(head);
+    }
+    if (fault_at % 2 == 1) {
+        inner_->act(train.bank, train.row, train.actNs(pairs));
+        if (train.bank < open_row_.size() && !open_row_[train.bank])
+            open_row_[train.bank] = train.row;
+    }
+    // The faulting command itself advanced the counters step-wise.
+    stream_commands_ += fault_at + 1;
+    lifetime_commands_ += fault_at + 1;
+
+    if (death) {
+        dead_ = true;
+        counts_.deaths = 1;
+        if (dead_counter_ && dead_counter_->value == 0)
+            dead_counter_->add(1);
+        DeviceDeadError err(
+            "device died after " +
+            std::to_string(spec_.dieAfterCommands) + " commands");
+        err.trainCommandsDone = fault_at;
+        throw err;
+    }
+    ++counts_.drops;
+    if (drop_counter_)
+        drop_counter_->add(1);
+    TransientFaultError err("command dropped (injected)");
+    err.trainCommandsDone = fault_at;
+    throw err;
+}
+
+void
+FaultyDevice::actMany(const ActTrain &train)
+{
+    actManyFaulted(train, /*analytic=*/false);
+}
+
+void
+FaultyDevice::actManyAnalytic(const ActTrain &train)
+{
+    actManyFaulted(train, /*analytic=*/true);
 }
 
 uint64_t

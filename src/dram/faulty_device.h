@@ -76,6 +76,14 @@ class FaultError : public std::runtime_error
 {
   public:
     using std::runtime_error::runtime_error;
+
+    /**
+     * Commands of an aborted bulk train that executed before the
+     * fault (0 for single-command faults).  bender::Host uses it to
+     * rewind its clock to the faulting command's issue slot, exactly
+     * where step-wise execution would have stopped.
+     */
+    uint64_t trainCommandsDone = 0;
 };
 
 /**
@@ -169,8 +177,8 @@ class FaultyDevice final : public Device
     void write(BankId b, ColAddr col, uint64_t data,
                NanoTime now) override;
     void refresh(NanoTime now) override;
-    void actMany(BankId b, RowAddr row, uint64_t count, double open_ns,
-                 NanoTime start, NanoTime last_pre) override;
+    void actMany(const ActTrain &train) override;
+    void actManyAnalytic(const ActTrain &train) override;
     uint64_t violationCount() const override;
     std::vector<TimingViolation> violationLog() const override;
     uint32_t refreshAggressorNeighbors(BankId b, RowAddr row,
@@ -209,13 +217,24 @@ class FaultyDevice final : public Device
 
   private:
     /**
-     * Per-command bookkeeping shared by every entry point: advances
-     * the lifetime and stream counters, throws DeviceDeadError when
-     * dead, and throws TransientFaultError on a dropped command.
-     * @param weight Commands this call stands for (bulk ACT trains).
+     * Per-command bookkeeping shared by every single-command entry
+     * point: advances the lifetime and stream counters, throws
+     * DeviceDeadError when dead, and throws TransientFaultError on a
+     * dropped command.
      * @return The stream index assigned to this command.
      */
-    uint64_t onCommand(uint64_t weight = 1);
+    uint64_t onCommand();
+
+    /**
+     * Bulk-train forwarding with exact per-command fault replay: the
+     * train's 2 * count commands draw the same death/drop decisions
+     * at the same stream indices as 2 * count step-wise commands.  A
+     * fault-free train forwards whole; a fault mid-train forwards
+     * the fault-free prefix (complete pairs via the bulk path, plus
+     * the lone ACT when the fault lands on a PRE), then throws with
+     * trainCommandsDone set.
+     */
+    void actManyFaulted(const ActTrain &train, bool analytic);
 
     /** Applies flip + stuck-at faults to one RD_data burst. */
     uint64_t corruptRead(BankId b, ColAddr col, uint64_t data,

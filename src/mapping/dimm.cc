@@ -113,13 +113,22 @@ Dimm::write(dram::BankId b, dram::ColAddr col, uint64_t data,
 }
 
 void
-Dimm::actMany(dram::BankId b, dram::RowAddr host_row, uint64_t count,
-              double open_ns, dram::NanoTime start,
-              dram::NanoTime last_pre)
+Dimm::actMany(const dram::ActTrain &train)
 {
+    dram::ActTrain chip_train = train;
     for (uint32_t c = 0; c < chipCount(); ++c) {
-        chips_[c]->actMany(b, chipRow(c, host_row), count, open_ns,
-                           start, last_pre);
+        chip_train.row = chipRow(c, train.row);
+        chips_[c]->actMany(chip_train);
+    }
+}
+
+void
+Dimm::actManyAnalytic(const dram::ActTrain &train)
+{
+    dram::ActTrain chip_train = train;
+    for (uint32_t c = 0; c < chipCount(); ++c) {
+        chip_train.row = chipRow(c, train.row);
+        chips_[c]->actManyAnalytic(chip_train);
     }
 }
 

@@ -82,10 +82,12 @@ class Dimm final : public dram::Device
     void write(dram::BankId b, dram::ColAddr col, uint64_t data,
                dram::NanoTime now) override;
 
-    /** Broadcast bulk hammer: every chip runs its fast path. */
-    void actMany(dram::BankId b, dram::RowAddr host_row, uint64_t count,
-                 double open_ns, dram::NanoTime start,
-                 dram::NanoTime last_pre) override;
+    /** Broadcast bulk hammer: every chip runs its exact fast path
+     *  with its side's row address. */
+    void actMany(const dram::ActTrain &train) override;
+
+    /** Broadcast analytic bulk hammer. */
+    void actManyAnalytic(const dram::ActTrain &train) override;
 
     /** Sum of per-chip timing violations. */
     uint64_t violationCount() const override;

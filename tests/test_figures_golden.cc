@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
 #include "core/charact.h"
 #include "dram/chip.h"
+#include "dram/hbm_stack.h"
+#include "mapping/dimm.h"
 #include "test_common.h"
 
 namespace dramscope {
@@ -175,6 +178,166 @@ INSTANTIATE_TEST_SUITE_P(SerialAndParallel, FigureGoldenTest,
                          [](const auto &info) {
                              return "jobs" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Fast-forward differential layer: FastPathMode::Exact must hand every
+// figure entry point *byte-identical* reports to the step-wise engine
+// (FastPathMode::Off), on every backend.  Doubles are compared with ==
+// deliberately — "close" is not the contract, identical bits are.
+// ---------------------------------------------------------------------
+
+using dram::FastPathMode;
+
+/** One pass over the five figure entry points. */
+struct FigureReport
+{
+    std::vector<double> fig12Ber;       //!< berVsPhysIndex
+    core::GateTypeBer fig13Hammer;      //!< gateTypeBer(RowHammer)
+    core::GateTypeBer fig13Press;       //!< gateTypeBer(RowPress)
+    core::EdgeBerResult fig10;          //!< edgeVsTypical
+    double fig16Solid = 0;              //!< patternBer(0xF, 0x0)
+    double fig16Worst = 0;              //!< patternBer(0x3, 0xC)
+    double fig15Hcnt = -1;              //!< relativeHcnt (optional)
+};
+
+/** Reduced workload: the Off arm runs every hammer slot by slot. */
+CharactOptions
+differentialOpts(uint32_t victim_rows)
+{
+    CharactOptions opts;
+    opts.victimRows = victim_rows;
+    opts.baseRow = 300;
+    opts.hammerCount = 60000;
+    opts.pressCount = 1024;
+    opts.jobs = 1;
+    return opts;
+}
+
+FigureReport
+runFigureReport(dram::Device &dev, const core::PhysMap &map,
+                FastPathMode mode, const CharactOptions &opts,
+                bool include_hcnt)
+{
+    bender::Host host(dev);
+    host.setFastPathMode(mode);
+    Characterization charact(host, map, opts);
+    FigureReport r;
+    r.fig12Ber = charact.berVsPhysIndex(AibMechanism::RowHammer, true, true);
+    r.fig13Hammer = charact.gateTypeBer(AibMechanism::RowHammer);
+    r.fig13Press = charact.gateTypeBer(AibMechanism::RowPress);
+    r.fig10 = charact.edgeVsTypical({52, 60, 68, 76}, {4, 12, 20, 28});
+    r.fig16Solid = charact.patternBer(0xF, 0x0);
+    r.fig16Worst = charact.patternBer(0x3, 0xC);
+    if (include_hcnt)
+        r.fig15Hcnt = charact.relativeHcnt(false, true, false);
+    return r;
+}
+
+void
+expectReportsIdentical(const FigureReport &fast, const FigureReport &slow)
+{
+    EXPECT_EQ(fast.fig12Ber, slow.fig12Ber);
+    EXPECT_EQ(fast.fig13Hammer.dischargedGateA,
+              slow.fig13Hammer.dischargedGateA);
+    EXPECT_EQ(fast.fig13Hammer.dischargedGateB,
+              slow.fig13Hammer.dischargedGateB);
+    EXPECT_EQ(fast.fig13Hammer.chargedGateA, slow.fig13Hammer.chargedGateA);
+    EXPECT_EQ(fast.fig13Hammer.chargedGateB, slow.fig13Hammer.chargedGateB);
+    EXPECT_EQ(fast.fig13Press.dischargedGateA,
+              slow.fig13Press.dischargedGateA);
+    EXPECT_EQ(fast.fig13Press.dischargedGateB,
+              slow.fig13Press.dischargedGateB);
+    EXPECT_EQ(fast.fig13Press.chargedGateA, slow.fig13Press.chargedGateA);
+    EXPECT_EQ(fast.fig13Press.chargedGateB, slow.fig13Press.chargedGateB);
+    EXPECT_EQ(fast.fig10.typicalAggr0Vic1, slow.fig10.typicalAggr0Vic1);
+    EXPECT_EQ(fast.fig10.edgeAggr0Vic1, slow.fig10.edgeAggr0Vic1);
+    EXPECT_EQ(fast.fig10.typicalAggr1Vic0, slow.fig10.typicalAggr1Vic0);
+    EXPECT_EQ(fast.fig10.edgeAggr1Vic0, slow.fig10.edgeAggr1Vic0);
+    EXPECT_EQ(fast.fig16Solid, slow.fig16Solid);
+    EXPECT_EQ(fast.fig16Worst, slow.fig16Worst);
+    EXPECT_EQ(fast.fig15Hcnt, slow.fig15Hcnt);
+}
+
+core::PhysMap
+chipPhysMap(const dram::Chip &chip)
+{
+    return core::PhysMap::fromSwizzle(chip.swizzle(),
+                                      chip.config().columnsPerRow(),
+                                      chip.config().rdDataBits);
+}
+
+TEST(FastPathDifferential, ChipFigureReportsExactMatchesOff)
+{
+    const auto cfg = testutil::tinyPlain();
+    const auto opts = differentialOpts(8);
+    dram::Chip fast_chip(cfg);
+    const auto fast = runFigureReport(fast_chip, chipPhysMap(fast_chip),
+                                      FastPathMode::Exact, opts, true);
+    dram::Chip slow_chip(cfg);
+    const auto slow = runFigureReport(slow_chip, chipPhysMap(slow_chip),
+                                      FastPathMode::Off, opts, true);
+    expectReportsIdentical(fast, slow);
+}
+
+TEST(FastPathDifferential, DimmFigureReportsExactMatchesOff)
+{
+    // Identity twist + no RCD inversion, as in the backend integration
+    // suite: the rank PhysMap is the chip map tiled.
+    const auto cfg = testutil::tinyPlain();
+    const auto opts = differentialOpts(4);
+    const auto make_report = [&](FastPathMode mode) {
+        mapping::Dimm dimm(cfg, /*rcd_inversion=*/false,
+                           /*identity_twist=*/true);
+        const auto map = core::PhysMap::tiled(
+            core::PhysMap::fromSwizzle(dimm.chip(0).swizzle(),
+                                       cfg.columnsPerRow(),
+                                       cfg.rdDataBits),
+            dimm.chipCount());
+        return runFigureReport(dimm, map, mode, opts, false);
+    };
+    expectReportsIdentical(make_report(FastPathMode::Exact),
+                           make_report(FastPathMode::Off));
+}
+
+TEST(FastPathDifferential, DimmRelativeHcntExactMatchesOff)
+{
+    // The Hcnt search is the slow tail (binary search up to 2^21
+    // ACTs per group, x16 chips per command on the Off arm), so it
+    // gets its own test — and the smallest victim set — to keep the
+    // tier timeout honest.
+    const auto cfg = testutil::tinyPlain();
+    const auto opts = differentialOpts(2);
+    const auto hcnt = [&](FastPathMode mode) {
+        mapping::Dimm dimm(cfg, /*rcd_inversion=*/false,
+                           /*identity_twist=*/true);
+        const auto map = core::PhysMap::tiled(
+            core::PhysMap::fromSwizzle(dimm.chip(0).swizzle(),
+                                       cfg.columnsPerRow(),
+                                       cfg.rdDataBits),
+            dimm.chipCount());
+        bender::Host host(dimm);
+        host.setFastPathMode(mode);
+        Characterization charact(host, map, opts);
+        return charact.relativeHcnt(false, true, false);
+    };
+    EXPECT_EQ(hcnt(FastPathMode::Exact), hcnt(FastPathMode::Off));
+}
+
+TEST(FastPathDifferential, HbmChannelFigureReportsExactMatchesOff)
+{
+    // A stack channel is a Chip under a stack-derived variation seed;
+    // the differential must hold on that derived silicon too.
+    const auto opts = differentialOpts(8);
+    dram::HbmStack fast_stack(testutil::tinyPlain(), 4);
+    dram::Chip fast_chip(fast_stack.channel(2).config());
+    const auto fast = runFigureReport(fast_chip, chipPhysMap(fast_chip),
+                                      FastPathMode::Exact, opts, true);
+    dram::HbmStack slow_stack(testutil::tinyPlain(), 4);
+    dram::Chip slow_chip(slow_stack.channel(2).config());
+    const auto slow = runFigureReport(slow_chip, chipPhysMap(slow_chip),
+                                      FastPathMode::Off, opts, true);
+    expectReportsIdentical(fast, slow);
+}
 
 } // namespace
 } // namespace dramscope

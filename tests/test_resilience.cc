@@ -184,16 +184,119 @@ TEST(FaultyDevice, DiesAfterConfiguredCommandCountAndStaysDead)
     EXPECT_EQ(faulty.counts().deaths, 1u);
 }
 
-TEST(FaultyDevice, BulkActTrainRefusedWhenDeathLandsInside)
+TEST(FaultyDevice, BulkActTrainForwardsPrefixWhenDeathLandsInside)
 {
     const auto cfg = testutil::tinyPlain();
     dram::Chip inner(cfg);
     FaultyDevice faulty(inner, *FaultSpec::parse("die:cmd=10"));
-    // 8 ACT/PRE pairs = 16 commands > 10: the whole train is refused.
-    EXPECT_THROW(faulty.actMany(0, 1, 8, 35.0, 0, -10000),
-                 DeviceDeadError);
+    // 8 ACT/PRE pairs = 16 commands > 10: commands 0..9 (five full
+    // pairs) reach the inner chip, then the device dies on command
+    // 10 — exactly where a step-wise replay would have stopped.
+    dram::ActTrain train;
+    train.bank = 0;
+    train.row = 1;
+    train.count = 8;
+    train.startPs = 1'000'000;
+    train.openPs = 35'000;
+    train.periodPs = 50'000;
+    try {
+        faulty.actMany(train);
+        FAIL() << "expected DeviceDeadError";
+    } catch (const DeviceDeadError &e) {
+        EXPECT_EQ(e.trainCommandsDone, 10u);
+    }
     EXPECT_TRUE(faulty.dead());
-    EXPECT_EQ(faulty.violationCount(), 0u);
+    EXPECT_EQ(faulty.lifetimeCommands(), 11u);  // Faulting cmd counted.
+    EXPECT_EQ(inner.stats().acts, 5u);
+    EXPECT_EQ(inner.stats().pres, 5u);
+    EXPECT_EQ(faulty.violationCount(), 0u);  // 35 ns open >= tRAS.
+}
+
+/**
+ * One hammer run against a fresh faulty device: setup writes to both
+ * neighbors, then @p count ACT-PRE pairs on the aggressor, catching
+ * any injected fault.  Everything a cross-mode determinism test needs
+ * to compare lands in the returned snapshot.
+ */
+struct FaultReplay
+{
+    bool threw = false;
+    dram::NanoTime clock = 0;     //!< Host clock after the fault.
+    uint64_t lifetime = 0;        //!< Device-side command count.
+    uint64_t drops = 0;
+    uint64_t deaths = 0;
+    uint64_t innerActs = 0;       //!< Commands that reached the chip.
+    uint64_t innerPres = 0;
+};
+
+FaultReplay
+replayHammer(const char *spec, dram::FastPathMode mode, uint64_t count)
+{
+    const auto cfg = testutil::tinyPlain();
+    dram::Chip inner(cfg);
+    FaultyDevice faulty(inner, *FaultSpec::parse(spec));
+    bender::Host host(faulty);
+    host.setFastPathMode(mode);
+    FaultReplay r;
+    try {
+        host.writeRowPattern(0, 99, ~0ULL);
+        host.writeRowPattern(0, 101, ~0ULL);
+        host.hammer(0, 100, count);
+    } catch (const dram::FaultError &) {
+        r.threw = true;
+    }
+    r.clock = host.now();
+    r.lifetime = faulty.lifetimeCommands();
+    r.drops = faulty.counts().drops;
+    r.deaths = faulty.counts().deaths;
+    r.innerActs = inner.stats().acts;
+    r.innerPres = inner.stats().pres;
+    return r;
+}
+
+TEST(FaultyDevice, DropLandsAtSameCommandIndexBulkVsStepwise)
+{
+    // The drop draw is a pure function of (seed, stream position), so
+    // the batched train must fault on exactly the command step-wise
+    // execution faults on: same surviving prefix, same device-side
+    // command count, and the host clock parked on the same slot.
+    // Seed 2's first drop draw fires at stream position 355 — well
+    // inside the 4000-command train, past the ~20 setup commands.
+    const char *spec = "drop:0.005,seed:2";
+    const auto fast = replayHammer(spec, dram::FastPathMode::Exact, 2000);
+    const auto slow = replayHammer(spec, dram::FastPathMode::Off, 2000);
+    ASSERT_TRUE(fast.threw);
+    ASSERT_TRUE(slow.threw);
+    EXPECT_EQ(fast.clock, slow.clock);
+    EXPECT_EQ(fast.lifetime, slow.lifetime);
+    EXPECT_EQ(fast.drops, 1u);
+    EXPECT_EQ(slow.drops, 1u);
+    EXPECT_EQ(fast.innerActs, slow.innerActs);
+    EXPECT_EQ(fast.innerPres, slow.innerPres);
+    // The drop landed inside the hammer train, not in the setup
+    // writes (~20 commands), so the batched path really was aborted
+    // mid-train.
+    EXPECT_GT(fast.lifetime, 30u);
+}
+
+TEST(FaultyDevice, DeathMidTrainMatchesStepwiseReplay)
+{
+    // die:cmd=75 lands inside the 200-command hammer train (setup
+    // issues ~20).  The offset is odd relative to the train start, so
+    // the bulk path must also forward the lone trailing ACT that
+    // step-wise execution issues before the fatal PRE.
+    const char *spec = "die:cmd=75";
+    const auto fast = replayHammer(spec, dram::FastPathMode::Exact, 100);
+    const auto slow = replayHammer(spec, dram::FastPathMode::Off, 100);
+    ASSERT_TRUE(fast.threw);
+    ASSERT_TRUE(slow.threw);
+    EXPECT_EQ(fast.clock, slow.clock);
+    EXPECT_EQ(fast.lifetime, slow.lifetime);
+    EXPECT_EQ(fast.lifetime, 76u);
+    EXPECT_EQ(fast.deaths, 1u);
+    EXPECT_EQ(slow.deaths, 1u);
+    EXPECT_EQ(fast.innerActs, slow.innerActs);
+    EXPECT_EQ(fast.innerPres, slow.innerPres);
 }
 
 TEST(FaultyDevice, ExportsMetricsCounters)

@@ -15,6 +15,9 @@ Three checks:
 4. The fault-clause table in docs/RESILIENCE.md must list exactly the
    clauses registered in the ``DRAMSCOPE_FAULT_CLAUSES`` X-macro of
    src/dram/faulty_device.h, in registry order.
+5. The ``DRAMSCOPE_FASTPATH`` mode table in README.md must list
+   exactly the modes registered in the ``DRAMSCOPE_FASTPATH_MODES``
+   X-macro of src/dram/device.h, in registry order.
 
 Exits non-zero with one line per problem.
 """
@@ -47,6 +50,11 @@ CLAUSE_ENTRY_RE = re.compile(r"X\(\s*(\w+)\s*,\s*\"([a-z]+)\"\s*,")
 # One clause-table row: | `keyword` | `syntax` | description |
 CLAUSE_ROW_RE = re.compile(
     r"^\|\s*`([a-z]+)`\s*\|\s*`([^`]+)`\s*\|\s*(.+?)\s*\|\s*$")
+DEVICE_HEADER = "src/dram/device.h"
+# One fast-path X-macro entry: X(Enumerator, "keyword", "summary...").
+MODE_ENTRY_RE = re.compile(r"X\(\s*(\w+)\s*,\s*\"([a-z]+)\"\s*,")
+# One mode-table row: | `keyword` | description |
+MODE_ROW_RE = re.compile(r"^\|\s*`([a-z]+)`\s*\|\s*(.+?)\s*\|\s*$")
 
 
 def check_links(md_path: Path, errors: list) -> None:
@@ -245,6 +253,76 @@ def check_fault_clauses(errors: list) -> None:
                       f"in registry order")
 
 
+def registered_fastpath_modes(errors: list) -> list:
+    """Mode keywords from the X-macro, registry order."""
+    header = REPO / DEVICE_HEADER
+    if not header.exists():
+        errors.append(f"{DEVICE_HEADER}: missing")
+        return []
+    text = header.read_text(encoding="utf-8")
+    marker = "#define DRAMSCOPE_FASTPATH_MODES(X)"
+    start = text.find(marker)
+    if start < 0:
+        errors.append(f"{DEVICE_HEADER}: DRAMSCOPE_FASTPATH_MODES "
+                      f"macro not found")
+        return []
+    body_lines = []
+    for line in text[start + len(marker):].splitlines()[1:]:
+        body_lines.append(line)
+        if not line.rstrip().endswith("\\"):
+            break
+    modes = [kw for _, kw
+             in MODE_ENTRY_RE.findall("\n".join(body_lines))]
+    if not modes:
+        errors.append(f"{DEVICE_HEADER}: no X(...) entries parsed from "
+                      f"DRAMSCOPE_FASTPATH_MODES")
+    return modes
+
+
+def check_fastpath_modes(errors: list) -> None:
+    """README's DRAMSCOPE_FASTPATH mode table vs the mode registry."""
+    modes = registered_fastpath_modes(errors)
+    readme = REPO / "README.md"
+    if not readme.exists():
+        return  # Reported by the link pass already.
+    lines = readme.read_text(encoding="utf-8").splitlines()
+    # The table lives in the section that introduces the env knob:
+    # scan rows from the first DRAMSCOPE_FASTPATH mention to the next
+    # heading, so unrelated two-column tables elsewhere can't match.
+    documented = []
+    in_section = False
+    for line in lines:
+        if "DRAMSCOPE_FASTPATH" in line and not in_section:
+            in_section = True
+            continue
+        if in_section and line.startswith("## "):
+            break
+        if not in_section:
+            continue
+        # Header and separator rows have no backticked first cell, so
+        # every match is a real mode row.
+        m = MODE_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        keyword, desc = m.group(1), m.group(2)
+        documented.append(keyword)
+        if not desc.strip():
+            errors.append(f"README.md: fast-path mode '{keyword}': "
+                          f"empty description")
+    for keyword in modes:
+        if keyword not in documented:
+            errors.append(f"README.md: registered fast-path mode "
+                          f"'{keyword}' has no DRAMSCOPE_FASTPATH "
+                          f"table row")
+    for keyword in documented:
+        if keyword not in modes:
+            errors.append(f"README.md: documents unknown fast-path "
+                          f"mode '{keyword}' (not in {DEVICE_HEADER})")
+    if set(documented) == set(modes) and documented != modes:
+        errors.append(f"README.md: DRAMSCOPE_FASTPATH table rows are "
+                      f"not in registry order")
+
+
 def main() -> int:
     errors = []
     for name in LINK_CHECKED:
@@ -258,6 +336,7 @@ def main() -> int:
     check_observations(errors)
     check_lint_rules(errors)
     check_fault_clauses(errors)
+    check_fastpath_modes(errors)
 
     if errors:
         for err in errors:
@@ -265,7 +344,8 @@ def main() -> int:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all links resolve, O1..O14 all mapped and "
-          "tagged, lint rule and fault clause tables in sync")
+          "tagged, lint rule, fault clause and fast-path mode tables "
+          "in sync")
     return 0
 
 

@@ -80,6 +80,7 @@ struct Flags
     std::string trace;       //!< --trace=FILE (JSONL command trace).
     std::string device;      //!< --device=chip|dimm|hbm[:N].
     std::string faults;      //!< --faults=SPEC (fault injection).
+    std::string fastpath;    //!< --fastpath=off|exact|analytic.
     std::string checkpoint;  //!< --checkpoint=FILE (shard journal).
     bool resume = false;     //!< --resume (skip journaled shards).
     unsigned jobs = 0;       //!< --jobs=N (0 = DRAMSCOPE_JOBS / hw).
@@ -188,6 +189,27 @@ makeDevice(const dram::DeviceConfig &cfg, const std::string &spec,
     return d;
 }
 
+/**
+ * Applies the --fastpath flag (when given) to a freshly built host;
+ * exits with a diagnostic on an unknown mode keyword.  Without the
+ * flag the host keeps the DRAMSCOPE_FASTPATH environment selection.
+ */
+void
+applyFastPath(bender::Host &host, const Flags &flags)
+{
+    if (flags.fastpath.empty())
+        return;
+    const auto mode = dram::fastPathModeFromString(flags.fastpath);
+    if (!mode) {
+        std::fprintf(stderr,
+                     "error: unknown --fastpath '%s' "
+                     "(off|exact|analytic)\n",
+                     flags.fastpath.c_str());
+        std::exit(2);
+    }
+    host.setFastPathMode(*mode);
+}
+
 int
 usage()
 {
@@ -212,6 +234,8 @@ usage()
         "(default chip)\n"
         "device commands accept --faults=SPEC (fault injection; see "
         "docs/RESILIENCE.md)\n"
+        "device commands accept --fastpath=off|exact|analytic (loop "
+        "engine; default from DRAMSCOPE_FASTPATH, else exact)\n"
         "sweep accepts --jobs=N --seed=S --retries=K --timeout-ms=T "
         "--checkpoint=FILE --resume\n");
     return 2;
@@ -297,6 +321,7 @@ cmdAttack(const std::string &preset, dram::RowAddr aggr, uint64_t count,
     auto dut = makeDevice(cfg, flags.device,
                           parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
     const auto trace = maybeAttachTrace(host, flags.trace);
 
     // Probe a wide window: internal remapping can place the physical
@@ -343,6 +368,7 @@ cmdRowCopy(const std::string &preset, dram::RowAddr src,
     auto dut = makeDevice(cfg, flags.device,
                           parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
     const auto trace = maybeAttachTrace(host, flags.trace);
     core::SubarrayMapper mapper(host);
     bool inverted = false;
@@ -370,6 +396,7 @@ cmdStats(const std::string &preset, dram::RowAddr aggr, uint64_t count,
     auto dut = makeDevice(cfg, flags.device,
                           parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
     obs::MetricsRegistry metrics;
     host.setMetrics(&metrics);
 
@@ -450,6 +477,7 @@ cmdRetention(const std::string &preset, const Flags &flags)
     auto dut = makeDevice(cfg, flags.device,
                           parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
     core::RetentionProfiler profiler(host);
     const auto profile = profiler.profile();
     Table t({"Wait (ms)", "Decayed", "Tested", "Fraction"});
@@ -471,6 +499,7 @@ cmdReport(const std::string &preset, const Flags &flags)
     auto dut = makeDevice(cfg, flags.device,
                           parseFaultsOrExit(flags.faults));
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
 
     std::printf("reverse-engineering %s ...\n", preset.c_str());
     core::AdjacencyMapper adjacency(host);
@@ -549,6 +578,7 @@ cmdSweep(const std::string &preset, uint64_t shards, uint64_t hammers,
 
     auto dut = makeDevice(cfg, flags.device, faults);
     bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
     obs::MetricsRegistry metrics;
     host.setMetrics(&metrics);
 
@@ -658,6 +688,8 @@ main(int argc, char **argv)
             flags.device = arg.substr(9);
         else if (arg.rfind("--faults=", 0) == 0)
             flags.faults = arg.substr(9);
+        else if (arg.rfind("--fastpath=", 0) == 0)
+            flags.fastpath = arg.substr(11);
         else if (arg.rfind("--checkpoint=", 0) == 0)
             flags.checkpoint = arg.substr(13);
         else if (arg == "--resume")
