@@ -87,6 +87,16 @@ Program::sleepNs(double ns)
 }
 
 Program &
+Program::sleepPs(int64_t ps)
+{
+    Instr i;
+    i.op = Opcode::SleepNs;
+    i.ps = ps;
+    instrs_.push_back(i);
+    return *this;
+}
+
+Program &
 Program::loopBegin(uint64_t count)
 {
     Instr i;

@@ -72,6 +72,8 @@ class Program
     Program &ref();
     Program &nop(uint64_t cycles = 1);
     Program &sleepNs(double ns);
+    /** sleepNs without the ns->ps rounding: exact integer wait. */
+    Program &sleepPs(int64_t ps);
     Program &loopBegin(uint64_t count);
     Program &loopEnd();
 

@@ -32,7 +32,11 @@
  * checkpoint/resume with bit-identical merged output.  Fault
  * injection behind any backend is provided by dram::FaultyDevice;
  * the runner rebases its deterministic fault streams at every shard
- * attempt.
+ * attempt.  runResilient() is the engine behind both the figure
+ * sweeps and the memory-controller policy x workload grid
+ * (mc::runMcSweep, src/mc/sweep.h) — any client whose shards derive
+ * their seed from the shard index (never ctx.rng or attempt count)
+ * inherits the full retry/checkpoint/bit-identity story.
  *
  * Observability (util/metrics.h): when the legacy host has a metrics
  * registry attached, each replica records into a private registry

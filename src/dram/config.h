@@ -145,6 +145,13 @@ struct DeviceConfig
     /** Column addresses per row (in RD-burst units). */
     uint32_t columnsPerRow() const { return rowBits / rdDataBits; }
 
+    /** Flat addresses the device exposes (banks * rows * columns);
+     *  the space mc::AddrDecoder decodes request addresses into. */
+    uint64_t addressSpace() const
+    {
+        return uint64_t(numBanks) * rowsPerBank * columnsPerRow();
+    }
+
     /** Rows in one repeat of the subarray pattern. */
     uint32_t patternRows() const;
 

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * FR-FCFS scheduler implementation.  See mc/mc.h for the model.
+ */
+
+#include "mc/mc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace dramscope {
+namespace mc {
+
+const std::vector<PolicyInfo> &
+policyTable()
+{
+    static const std::vector<PolicyInfo> table = {
+#define X(name, id, knobs, summary) {RowPolicy::name, id, knobs, summary},
+        DRAMSCOPE_MC_POLICIES(X)
+#undef X
+    };
+    return table;
+}
+
+const PolicyInfo &
+policyInfo(RowPolicy policy)
+{
+    return policyTable().at(size_t(policy));
+}
+
+const char *
+policyId(RowPolicy policy)
+{
+    return policyInfo(policy).id;
+}
+
+std::optional<RowPolicy>
+policyFromString(const std::string &id)
+{
+    for (const auto &info : policyTable()) {
+        if (id == info.id)
+            return info.policy;
+    }
+    return std::nullopt;
+}
+
+AddrDecoder::AddrDecoder(const dram::DeviceConfig &cfg)
+    : banks_(cfg.numBanks), columns_(cfg.columnsPerRow()),
+      rows_(cfg.rowsPerBank), space_(cfg.addressSpace())
+{
+    fatalIf(space_ == 0, "AddrDecoder: empty address space");
+}
+
+AddrDecoder::Decoded
+AddrDecoder::decode(uint64_t addr) const
+{
+    addr %= space_;
+    Decoded d;
+    d.col = dram::ColAddr(addr % columns_);
+    d.bank = dram::BankId((addr / columns_) % banks_);
+    d.row = dram::RowAddr(addr / (uint64_t(columns_) * banks_));
+    return d;
+}
+
+uint64_t
+AddrDecoder::encode(dram::BankId bank, dram::RowAddr row,
+                    dram::ColAddr col) const
+{
+    return (uint64_t(row) * banks_ + bank) * columns_ + col;
+}
+
+double
+ScheduleStats::rowHitRate() const
+{
+    return served() ? double(rowHits) / double(served()) : 0.0;
+}
+
+double
+ScheduleStats::actRatePerUs() const
+{
+    return spanPs > 0 ? double(acts) * 1.0e6 / double(spanPs) : 0.0;
+}
+
+void
+ScheduleStats::publish(obs::MetricsRegistry &m) const
+{
+    m.counter("mc.req.rd").add(reads);
+    m.counter("mc.req.wr").add(writes);
+    m.counter("mc.rowhit").add(rowHits);
+    m.counter("mc.rowmiss").add(rowMisses);
+    m.counter("mc.rowconflict").add(rowConflicts);
+    m.counter("mc.act").add(acts);
+    m.counter("mc.pre").add(pres);
+    m.counter("mc.ref").add(refs);
+    for (size_t b = 0; b < bankActs.size(); ++b) {
+        const std::string tag = "mc.bank" + std::to_string(b);
+        m.counter(tag + ".act").add(bankActs[b]);
+        m.counter(tag + ".rowhit").add(bankHits[b]);
+    }
+    auto &hist = m.histogram("mc.exposure.row_acts", 64, 0.0, 4096.0);
+    for (const auto sample : exposureSamples)
+        hist.add(double(sample));
+}
+
+std::string
+ScheduleStats::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "reqs=%llu rd=%llu wr=%llu hit=%llu miss=%llu conflict=%llu "
+        "act=%llu pre=%llu ref=%llu hit-rate=%.4f act-per-us=%.3f "
+        "max-row-acts=%llu span-ns=%lld",
+        (unsigned long long)served(), (unsigned long long)reads,
+        (unsigned long long)writes, (unsigned long long)rowHits,
+        (unsigned long long)rowMisses, (unsigned long long)rowConflicts,
+        (unsigned long long)acts, (unsigned long long)pres,
+        (unsigned long long)refs, rowHitRate(), actRatePerUs(),
+        (unsigned long long)maxRowActsPerRefWindow,
+        (long long)(spanPs / 1000));
+    return buf;
+}
+
+namespace {
+
+/** Exact ps conversion (same rounding as Host and the linter). */
+int64_t
+ps(double ns)
+{
+    return int64_t(std::llround(ns * 1000.0));
+}
+
+/** Rounds an issue time up to a whole nanosecond.  The device's
+ *  timing checker works on truncated-ns timestamps; whole-ns issue
+ *  times make its deltas exact, so a stream the ps-resolution linter
+ *  accepts is also violation-free on the device. */
+int64_t
+ceilNs(int64_t t)
+{
+    return (t + 999) / 1000 * 1000;
+}
+
+/** How deep into a bank queue the scheduler looks for row hits: the
+ *  reorder window of a real controller's scheduler CAM.  Bounds the
+ *  per-decision cost regardless of queue depth. */
+constexpr size_t kHitWindow = 64;
+
+constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+/** What the chosen command is (tie-break rank: hits beat row ops). */
+enum class Action : uint8_t
+{
+    Col,  //!< RD or WR of a queued request (row hit).
+    Act,  //!< Open the row of the oldest queued request.
+    Pre,  //!< Close the row (conflict or policy-forced).
+};
+
+struct Candidate
+{
+    int64_t t = kNever;
+    Action action = Action::Col;
+    uint32_t bank = 0;
+    size_t req = std::numeric_limits<size_t>::max();  //!< Request idx.
+
+    bool
+    beats(const Candidate &o) const
+    {
+        if (t != o.t)
+            return t < o.t;
+        if (action != o.action)
+            return uint8_t(action) < uint8_t(o.action);
+        if (req != o.req)
+            return req < o.req;
+        return bank < o.bank;
+    }
+};
+
+struct BankSched
+{
+    std::deque<size_t> q;  //!< Request indices, arrival order.
+    bool open = false;
+    dram::RowAddr openRow = 0;
+    int64_t lastActPs = -1;
+    int64_t lastPrePs = -1;
+    int64_t lastUsePs = 0;        //!< Last ACT/RD/WR issue time.
+    uint32_t hitsSinceAct = 0;    //!< Column commands this activation.
+    bool conflictPre = false;     //!< Last close was a conflict close.
+};
+
+} // namespace
+
+ScheduleResult
+schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
+         const SchedulerOptions &opt)
+{
+    const AddrDecoder dec(cfg);
+    const auto &tm = cfg.timing;
+    const int64_t tck = ps(tm.tCkNs);
+    const int64_t trcd = ps(tm.tRcdNs);
+    const int64_t tras = ps(tm.tRasNs);
+    const int64_t trp = ps(tm.tRpNs);
+    const int64_t trc = ps(tm.tRcNs());
+    const int64_t trrd = ps(tm.tRrdNs);
+    const int64_t tfaw = ps(tm.tFawNs);
+    const int64_t trfc = ps(tm.tRfcNs);
+    const int64_t idle = ps(opt.maxRowIdleNs);
+    const int64_t trefi = opt.refreshIntervalNs < 0.0
+                              ? ps(tm.tRefiNs)
+                              : ps(opt.refreshIntervalNs);
+
+    ScheduleResult out;
+    auto &prog = out.program;
+    auto &st = out.stats;
+    st.bankHits.assign(cfg.numBanks, 0);
+    st.bankMisses.assign(cfg.numBanks, 0);
+    st.bankConflicts.assign(cfg.numBanks, 0);
+    st.bankActs.assign(cfg.numBanks, 0);
+
+    // Arrival order; stable so equal arrivals keep stream order.
+    std::vector<size_t> order(reqs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return reqs[a].arrivalPs < reqs[b].arrivalPs;
+    });
+
+    // Decode once; queue per bank in arrival order.  `pos` ranks a
+    // request by arrival for the FCFS tie-break.
+    std::vector<AddrDecoder::Decoded> where(reqs.size());
+    std::vector<size_t> pos(reqs.size());
+    std::vector<BankSched> banks(cfg.numBanks);
+    for (size_t k = 0; k < order.size(); ++k) {
+        const size_t r = order[k];
+        where[r] = dec.decode(reqs[r].addr);
+        pos[r] = k;
+        banks[where[r].bank].q.push_back(r);
+    }
+
+    int64_t clock = 0;
+    int64_t lastActAny = -1;
+    std::deque<int64_t> faw;
+    int64_t nextRef = trefi > 0 ? trefi : kNever;
+    std::map<uint64_t, uint64_t> windowActs;  //!< (bank,row) -> ACTs.
+    size_t pending = reqs.size();
+
+    const auto arrival = [&](size_t r) { return reqs[r].arrivalPs; };
+
+    const auto advanceTo = [&](int64_t t) {
+        if (t > clock) {
+            prog.sleepPs(t - clock);
+            clock = t;
+        }
+    };
+
+    const auto earliestAct = [&](const BankSched &b) {
+        int64_t t = clock;
+        if (b.lastPrePs >= 0)
+            t = std::max(t, b.lastPrePs + trp);
+        if (b.lastActPs >= 0)
+            t = std::max(t, b.lastActPs + trc);
+        if (lastActAny >= 0)
+            t = std::max(t, lastActAny + trrd);
+        if (faw.size() == 4)
+            t = std::max(t, faw.front() + tfaw);
+        return t;
+    };
+
+    const auto earliestPre = [&](const BankSched &b) {
+        return std::max(clock, b.lastActPs + tras);
+    };
+
+    const auto issueAct = [&](uint32_t bk, dram::RowAddr row) {
+        auto &b = banks[bk];
+        advanceTo(ceilNs(earliestAct(b)));
+        prog.act(dram::BankId(bk), row);
+        const int64_t t = clock;
+        clock += tck;
+        b.open = true;
+        b.openRow = row;
+        b.lastActPs = t;
+        b.lastUsePs = t;
+        b.hitsSinceAct = 0;
+        lastActAny = t;
+        faw.push_back(t);
+        if (faw.size() > 4)
+            faw.pop_front();
+        ++st.acts;
+        ++st.bankActs[bk];
+        ++windowActs[uint64_t(bk) << 32 | row];
+    };
+
+    const auto issuePre = [&](uint32_t bk, int64_t not_before,
+                              bool conflict) {
+        auto &b = banks[bk];
+        advanceTo(ceilNs(std::max(not_before, earliestPre(b))));
+        prog.pre(dram::BankId(bk));
+        b.lastPrePs = clock;
+        clock += tck;
+        b.open = false;
+        b.conflictPre = conflict;
+        ++st.pres;
+    };
+
+    /** Closes every open bank (tRAS-ordered) — REF / end of stream. */
+    const auto drainOpenBanks = [&]() {
+        for (;;) {
+            uint32_t best = cfg.numBanks;
+            int64_t best_t = kNever;
+            for (uint32_t bk = 0; bk < cfg.numBanks; ++bk) {
+                if (!banks[bk].open)
+                    continue;
+                const int64_t t = ceilNs(earliestPre(banks[bk]));
+                if (t < best_t) {
+                    best_t = t;
+                    best = bk;
+                }
+            }
+            if (best == cfg.numBanks)
+                return;
+            issuePre(best, clock, false);
+        }
+    };
+
+    const auto closeExposureWindow = [&]() {
+        for (const auto &[key, count] : windowActs) {
+            (void)key;
+            st.exposureSamples.push_back(count);
+            st.maxRowActsPerRefWindow =
+                std::max(st.maxRowActsPerRefWindow, count);
+        }
+        windowActs.clear();
+    };
+
+    while (pending > 0) {
+        // Per-bank best next command, then the global FR-FCFS pick.
+        Candidate best;
+        for (uint32_t bk = 0; bk < cfg.numBanks; ++bk) {
+            auto &b = banks[bk];
+            Candidate c;
+            c.bank = bk;
+            if (!b.open) {
+                if (b.q.empty())
+                    continue;
+                const size_t head = b.q.front();
+                c.action = Action::Act;
+                c.req = pos[head];
+                c.t = ceilNs(
+                    std::max(earliestAct(b), arrival(head)));
+            } else {
+                // Oldest hit within the scheduler window; arrived
+                // hits are ready, future ones are prefetch targets.
+                size_t hit_arrived = SIZE_MAX;
+                size_t hit_any = SIZE_MAX;
+                const size_t depth = std::min(b.q.size(), kHitWindow);
+                for (size_t k = 0; k < depth; ++k) {
+                    const size_t r = b.q[k];
+                    if (where[r].row != b.openRow)
+                        continue;
+                    hit_any = std::min(hit_any, r);
+                    if (arrival(r) <= clock)
+                        hit_arrived = std::min(hit_arrived, r);
+                }
+                const bool cap_hit = opt.policy == RowPolicy::HitCap &&
+                                     b.hitsSinceAct >= opt.maxRowHits;
+                if (hit_arrived != SIZE_MAX && !cap_hit) {
+                    c.action = Action::Col;
+                    c.req = pos[hit_arrived];
+                    c.t = ceilNs(std::max(clock, b.lastActPs + trcd));
+                } else if (cap_hit && hit_any != SIZE_MAX) {
+                    // Hits pending but the cap is exhausted: force a
+                    // close so the re-ACT restarts the hit budget.
+                    c.action = Action::Pre;
+                    c.req = pos[hit_any];
+                    c.t = ceilNs(earliestPre(b));
+                } else {
+                    // No ready hit.  A future hit can still be worth
+                    // waiting for (open/timeout/cap), the oldest
+                    // request forces a conflict close, and the policy
+                    // may close on its own.
+                    int64_t close_at = kNever;
+                    size_t close_req = SIZE_MAX;
+                    if (!b.q.empty() &&
+                        where[b.q.front()].row != b.openRow &&
+                        hit_any == SIZE_MAX) {
+                        close_at = std::max(arrival(b.q.front()),
+                                            earliestPre(b));
+                        close_req = b.q.front();
+                    }
+                    if (opt.policy == RowPolicy::Closed)
+                        close_at = std::min(close_at, earliestPre(b));
+                    else if (opt.policy == RowPolicy::Timeout)
+                        close_at =
+                            std::min(close_at,
+                                     std::max(b.lastUsePs + idle,
+                                              earliestPre(b)));
+                    int64_t col_at = kNever;
+                    if (hit_any != SIZE_MAX &&
+                        opt.policy != RowPolicy::Closed) {
+                        col_at = std::max(arrival(hit_any),
+                                          std::max(clock, b.lastActPs +
+                                                              trcd));
+                    }
+                    if (col_at <= close_at && col_at != kNever) {
+                        c.action = Action::Col;
+                        c.req = pos[hit_any];
+                        c.t = ceilNs(col_at);
+                    } else if (close_at != kNever) {
+                        c.action = Action::Pre;
+                        c.req = close_req == SIZE_MAX
+                                    ? std::numeric_limits<size_t>::max()
+                                    : pos[close_req];
+                        c.t = ceilNs(close_at);
+                    } else {
+                        continue;  // Idle open bank; nothing to do.
+                    }
+                }
+            }
+            if (c.beats(best))
+                best = c;
+        }
+        panicIf(best.t == kNever,
+                "mc::schedule: pending requests but no candidate");
+
+        // Auto-refresh preempts once its deadline is due before the
+        // chosen command would issue.
+        if (nextRef != kNever && nextRef <= best.t) {
+            drainOpenBanks();
+            advanceTo(ceilNs(std::max(clock, nextRef)));
+            prog.ref();
+            clock += tck;
+            prog.sleepPs(trfc);
+            clock += trfc;
+            ++st.refs;
+            nextRef += trefi;
+            closeExposureWindow();
+            continue;
+        }
+
+        auto &b = banks[best.bank];
+        switch (best.action) {
+          case Action::Act: {
+            const size_t head = b.q.front();
+            advanceTo(ceilNs(std::max(earliestAct(b), arrival(head))));
+            issueAct(best.bank, where[head].row);
+            break;
+          }
+          case Action::Pre: {
+            const bool conflict =
+                !b.q.empty() && where[b.q.front()].row != b.openRow;
+            issuePre(best.bank, clock, conflict);
+            break;
+          }
+          case Action::Col: {
+            // Serve the picked request (it may sit mid-queue).
+            size_t r = SIZE_MAX;
+            size_t at = SIZE_MAX;
+            const size_t depth = std::min(b.q.size(), kHitWindow);
+            for (size_t k = 0; k < depth; ++k) {
+                if (pos[b.q[k]] == best.req) {
+                    r = b.q[k];
+                    at = k;
+                    break;
+                }
+            }
+            panicIf(r == SIZE_MAX, "mc::schedule: lost hit candidate");
+            advanceTo(
+                ceilNs(std::max({clock, b.lastActPs + trcd,
+                                 arrival(r)})));
+            const auto &w = where[r];
+            if (reqs[r].type == ReqType::Read) {
+                prog.rd(w.bank, w.col);
+                ++st.reads;
+            } else {
+                prog.wr(w.bank, w.col, splitmix64(reqs[r].addr));
+                ++st.writes;
+            }
+            // Row-buffer outcome: the first column command of an
+            // activation inherits the reason the row was opened.
+            if (b.hitsSinceAct == 0) {
+                if (b.conflictPre) {
+                    ++st.rowConflicts;
+                    ++st.bankConflicts[best.bank];
+                } else {
+                    ++st.rowMisses;
+                    ++st.bankMisses[best.bank];
+                }
+                b.conflictPre = false;
+            } else {
+                ++st.rowHits;
+                ++st.bankHits[best.bank];
+            }
+            ++b.hitsSinceAct;
+            b.lastUsePs = clock;
+            clock += tck;
+            b.q.erase(b.q.begin() + long(at));
+            --pending;
+            break;
+          }
+        }
+    }
+
+    drainOpenBanks();
+    closeExposureWindow();
+    st.spanPs = clock;
+    return out;
+}
+
+} // namespace mc
+} // namespace dramscope

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The policy x workload sweep unit.
+ */
+
+#include "mc/sweep.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "bender/lint.h"
+#include "util/rng.h"
+
+namespace dramscope {
+namespace mc {
+
+const std::vector<SweepCell> &
+sweepPlan()
+{
+    static const std::vector<SweepCell> plan = [] {
+        std::vector<SweepCell> cells;
+        for (const auto kind : workloadTable())
+            for (const auto &info : policyTable())
+                cells.push_back({kind, info.policy});
+        return cells;
+    }();
+    return plan;
+}
+
+std::string
+runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
+             const McSweepOptions &opt)
+{
+    const auto &cfg = ctx.host.config();
+
+    WorkloadOptions wopt;
+    wopt.requests = opt.requests;
+    // Split by shard index, not ctx.rng: the workload must be the
+    // same bytes on every attempt and under every job count.
+    wopt.seed = hashCombine(opt.seed, ctx.shard);
+    const auto reqs = makeWorkload(cell.workload, cfg, wopt);
+
+    SchedulerOptions sopt;
+    sopt.policy = cell.policy;
+    auto result = schedule(reqs, cfg, sopt);
+
+    const auto report = bender::lint::lint(result.program, cfg);
+    for (const auto &d : report.diags) {
+        if (!d.expected) {
+            std::ostringstream os;
+            os << "mc shard " << ctx.shard << " ("
+               << workloadId(cell.workload) << "/"
+               << policyId(cell.policy)
+               << "): scheduler emitted an out-of-spec program: "
+               << d.message;
+            throw std::runtime_error(os.str());
+        }
+    }
+
+    ctx.host.run(result.program);
+    if (ctx.host.metrics() != nullptr)
+        result.stats.publish(*ctx.host.metrics());
+
+    std::ostringstream os;
+    os << "workload=" << workloadId(cell.workload)
+       << " policy=" << policyId(cell.policy) << " "
+       << result.stats.summary();
+    return os.str();
+}
+
+core::SweepReport
+runMcSweep(core::SweepRunner &runner, const McSweepOptions &opt,
+           const core::ResilienceOptions &ropts)
+{
+    const auto &plan = sweepPlan();
+    return runner.runResilient(
+        uint32_t(plan.size()),
+        [&](core::ShardContext &ctx) {
+            return runSweepCell(ctx, plan.at(ctx.shard), opt);
+        },
+        ropts);
+}
+
+} // namespace mc
+} // namespace dramscope

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Policy x workload sweep over the memory-controller layer, built on
+ * core::SweepRunner so sharding, resilience (retry / quarantine /
+ * checkpoint-resume) and fault injection all apply unchanged.
+ *
+ * One shard = one (workload, policy) cell: generate the workload,
+ * schedule it FR-FCFS, lint the emitted program, execute it on the
+ * shard's device replica, and return a deterministic payload line.
+ * The same unit backs the `dramscope_cli mcsweep` subcommand and the
+ * serial==parallel equivalence tests.
+ */
+
+#ifndef DRAMSCOPE_MC_SWEEP_H
+#define DRAMSCOPE_MC_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "mc/mc.h"
+#include "mc/workload.h"
+
+namespace dramscope {
+namespace mc {
+
+/** One cell of the policy x workload grid. */
+struct SweepCell
+{
+    WorkloadKind workload;
+    RowPolicy policy;
+};
+
+/**
+ * The full grid, workload-major (all policies of one workload are
+ * adjacent shards).  Shard index == position in this vector.
+ */
+const std::vector<SweepCell> &sweepPlan();
+
+/** Knobs of the mc sweep. */
+struct McSweepOptions
+{
+    size_t requests = 1000;   //!< Requests per cell.
+    uint64_t seed = 0x5eedULL;  //!< Workload-generation base seed.
+};
+
+/**
+ * Runs one cell on @p ctx's device: generates the workload with a
+ * seed split by shard index (stable across attempts and job counts),
+ * schedules it, lints the program (throws on any unexpected
+ * diagnostic — in-spec by construction is part of the contract),
+ * executes it, publishes the ScheduleStats into the host's attached
+ * metrics registry, and returns the payload line
+ * `workload=<id> policy=<id> <stats summary>`.
+ */
+std::string runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
+                         const McSweepOptions &opt);
+
+/**
+ * Runs the whole grid through @p runner.runResilient and returns its
+ * report: payloads in shard order, bit-identical for any job count.
+ */
+core::SweepReport runMcSweep(core::SweepRunner &runner,
+                             const McSweepOptions &opt,
+                             const core::ResilienceOptions &ropts = {});
+
+} // namespace mc
+} // namespace dramscope
+
+#endif // DRAMSCOPE_MC_SWEEP_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic request-stream generators and the JSONL address-trace
+ * format.
+ *
+ * Three generators cover the interesting corners of the scheduling
+ * space: streaming (sequential, row-buffer friendly), pointer-chase
+ * (dependent random walk — every access a likely miss), and hot-row
+ * Zipfian ("millions of users" traffic where a few rows absorb most
+ * accesses, the realistic RowHammer-exposure scenario).  All three are
+ * seed-deterministic.  A generated or externally recorded stream can
+ * round-trip through a JSONL trace file and replay on any device
+ * geometry (addresses wrap modulo the address space).
+ */
+
+#ifndef DRAMSCOPE_MC_WORKLOAD_H
+#define DRAMSCOPE_MC_WORKLOAD_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/config.h"
+#include "mc/mc.h"
+
+namespace dramscope {
+namespace mc {
+
+/** Workload generator kinds. */
+enum class WorkloadKind : uint8_t
+{
+    Streaming,     //!< Sequential addresses: hit- and interleave-heavy.
+    PointerChase,  //!< Hash-dependent random walk, reads only.
+    Zipfian,       //!< Hot-row skewed accesses (aggressor exposure).
+};
+
+/** Stable keyword of @p kind ("streaming", "chase", "zipfian"). */
+const char *workloadId(WorkloadKind kind);
+
+/** Parses a workload keyword; nullopt on an unknown one. */
+std::optional<WorkloadKind> workloadFromString(const std::string &id);
+
+/** All generator kinds, in enum order. */
+const std::vector<WorkloadKind> &workloadTable();
+
+/** Generator knobs. */
+struct WorkloadOptions
+{
+    size_t requests = 1000;
+    uint64_t seed = 0x5eedULL;
+
+    /** Fraction of reads (rest are writes); chase ignores this. */
+    double readFraction = 0.75;
+
+    /** Mean inter-arrival gap (ns); arrivals are jittered +-50%. */
+    double interArrivalNs = 15.0;
+
+    /**
+     * Rows the workload touches (footprint).  0 selects the whole
+     * device; Zipfian ranks are drawn from this many rows.
+     */
+    uint64_t footprintRows = 0;
+
+    /** Zipf exponent: larger skews harder onto the hottest rows. */
+    double zipfSkew = 1.2;
+};
+
+/** Generates @p opt.requests transactions for @p kind on @p cfg. */
+std::vector<Request> makeWorkload(WorkloadKind kind,
+                                  const dram::DeviceConfig &cfg,
+                                  const WorkloadOptions &opt);
+
+/**
+ * Writes @p reqs as a JSONL trace: one object per line with keys
+ * arrival_ps (integer), addr (integer), type ("rd" | "wr").  Throws
+ * std::runtime_error on I/O failure.
+ */
+void writeTrace(const std::string &path, const std::vector<Request> &reqs);
+
+/**
+ * Reads a JSONL trace written by writeTrace() (or by hand).  Unknown
+ * keys are rejected; malformed lines throw std::runtime_error naming
+ * the line number.  Blank lines are skipped.
+ */
+std::vector<Request> readTrace(const std::string &path);
+
+} // namespace mc
+} // namespace dramscope
+
+#endif // DRAMSCOPE_MC_WORKLOAD_H

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checks (CI `docs` job).
 
-Three checks:
+Seven checks:
 
 1. Relative markdown links in README.md, EXPERIMENTS.md, DESIGN.md and
    docs/*.md must point at files that exist.
@@ -18,6 +18,11 @@ Three checks:
 5. The ``DRAMSCOPE_FASTPATH`` mode table in README.md must list
    exactly the modes registered in the ``DRAMSCOPE_FASTPATH_MODES``
    X-macro of src/dram/device.h, in registry order.
+6. The open-row policy table in docs/MC.md must list exactly the
+   policies registered in the ``DRAMSCOPE_MC_POLICIES`` X-macro of
+   src/mc/mc.h, in registry order, with matching knob strings.
+7. README.md's subsystem documentation index must link every file
+   under docs/ (no undocumented doc can be added silently).
 
 Exits non-zero with one line per problem.
 """
@@ -55,6 +60,14 @@ DEVICE_HEADER = "src/dram/device.h"
 MODE_ENTRY_RE = re.compile(r"X\(\s*(\w+)\s*,\s*\"([a-z]+)\"\s*,")
 # One mode-table row: | `keyword` | description |
 MODE_ROW_RE = re.compile(r"^\|\s*`([a-z]+)`\s*\|\s*(.+?)\s*\|\s*$")
+MC_HEADER = "src/mc/mc.h"
+MC_DOC = "docs/MC.md"
+# One policy X-macro entry: X(Enumerator, "keyword", "knobs", "sum...").
+POLICY_ENTRY_RE = re.compile(
+    r"X\(\s*(\w+)\s*,\s*\"([a-z]+)\"\s*,\s*\"([^\"]*)\"\s*,")
+# One policy-table row: | `keyword` | `knobs` | description |
+POLICY_ROW_RE = re.compile(
+    r"^\|\s*`([a-z]+)`\s*\|\s*`([^`]+)`\s*\|\s*(.+?)\s*\|\s*$")
 
 
 def check_links(md_path: Path, errors: list) -> None:
@@ -323,6 +336,84 @@ def check_fastpath_modes(errors: list) -> None:
                       f"not in registry order")
 
 
+def registered_mc_policies(errors: list) -> list:
+    """(keyword, knobs) pairs from the X-macro, registry order."""
+    header = REPO / MC_HEADER
+    if not header.exists():
+        errors.append(f"{MC_HEADER}: missing")
+        return []
+    text = header.read_text(encoding="utf-8")
+    marker = "#define DRAMSCOPE_MC_POLICIES(X)"
+    start = text.find(marker)
+    if start < 0:
+        errors.append(f"{MC_HEADER}: DRAMSCOPE_MC_POLICIES macro "
+                      f"not found")
+        return []
+    body_lines = []
+    for line in text[start + len(marker):].splitlines()[1:]:
+        body_lines.append(line)
+        if not line.rstrip().endswith("\\"):
+            break
+    policies = [(kw, knobs) for _, kw, knobs
+                in POLICY_ENTRY_RE.findall("\n".join(body_lines))]
+    if not policies:
+        errors.append(f"{MC_HEADER}: no X(...) entries parsed from "
+                      f"DRAMSCOPE_MC_POLICIES")
+    return policies
+
+
+def check_mc_policies(errors: list) -> None:
+    """docs/MC.md's policy table vs the DRAMSCOPE_MC_POLICIES macro."""
+    policies = registered_mc_policies(errors)
+    doc_path = REPO / MC_DOC
+    if not doc_path.exists():
+        errors.append(f"{MC_DOC}: missing")
+        return
+
+    documented = []
+    for line in doc_path.read_text(encoding="utf-8").splitlines():
+        m = POLICY_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        keyword, knobs, desc = m.group(1), m.group(2), m.group(3)
+        documented.append((keyword, knobs))
+        if not desc.strip():
+            errors.append(f"{MC_DOC}: {keyword}: empty description")
+
+    doc_ids = {kw for kw, _ in documented}
+    reg_ids = {kw for kw, _ in policies}
+    for kw, _ in policies:
+        if kw not in doc_ids:
+            errors.append(f"{MC_DOC}: registered policy '{kw}' has no "
+                          f"table row")
+    for kw, _ in documented:
+        if kw not in reg_ids:
+            errors.append(f"{MC_DOC}: documents unknown policy '{kw}' "
+                          f"(not in {MC_HEADER})")
+    doc_knobs = dict(documented)
+    for kw, knobs in policies:
+        if kw in doc_knobs and doc_knobs[kw] != knobs:
+            errors.append(f"{MC_DOC}: {kw}: documented knobs "
+                          f"'{doc_knobs[kw]}' != registered '{knobs}'")
+    if doc_ids == reg_ids and \
+            [k for k, _ in documented] != [k for k, _ in policies]:
+        errors.append(f"{MC_DOC}: policy table rows are not in "
+                      f"registry order")
+
+
+def check_readme_doc_index(errors: list) -> None:
+    """README's subsystem index must link every docs/*.md file."""
+    readme = REPO / "README.md"
+    if not readme.exists():
+        return  # Reported by the link pass already.
+    text = readme.read_text(encoding="utf-8")
+    for path in sorted((REPO / "docs").glob("*.md")):
+        rel = f"docs/{path.name}"
+        if rel not in text:
+            errors.append(f"README.md: subsystem index does not link "
+                          f"{rel}")
+
+
 def main() -> int:
     errors = []
     for name in LINK_CHECKED:
@@ -337,6 +428,8 @@ def main() -> int:
     check_lint_rules(errors)
     check_fault_clauses(errors)
     check_fastpath_modes(errors)
+    check_mc_policies(errors)
+    check_readme_doc_index(errors)
 
     if errors:
         for err in errors:
@@ -344,8 +437,8 @@ def main() -> int:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all links resolve, O1..O14 all mapped and "
-          "tagged, lint rule, fault clause and fast-path mode tables "
-          "in sync")
+          "tagged, lint rule, fault clause, fast-path mode and mc "
+          "policy tables in sync, README indexes every docs/ file")
     return 0
 
 

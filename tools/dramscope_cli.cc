@@ -14,6 +14,9 @@
  *   lint    <preset> [name]      static analysis of built-in programs
  *   sweep   <preset> [shards] [n]  resilient BER sweep (checkpoint/
  *                                resume, fault injection, retry)
+ *   mc      <preset>             scheduled traffic through the
+ *                                memory-controller layer (docs/MC.md)
+ *   mcsweep <preset>             resilient policy x workload mc sweep
  *
  * `lint` runs the bender::lint static analyzer (no device execution)
  * over every built-in command program — or just `name` — and prints
@@ -36,9 +39,16 @@
  * (docs/RESILIENCE.md): the device is wrapped in a deterministic
  * dram::FaultyDevice, e.g. `--faults=flip:1e-6,die:cmd=50000`.
  *
- * `sweep` additionally accepts `--jobs=N`, `--seed=S`, `--retries=K`,
- * `--timeout-ms=T`, `--checkpoint=FILE` and `--resume`; see
- * docs/RESILIENCE.md for the journal format and resume semantics.
+ * `sweep` and `mcsweep` additionally accept `--jobs=N`, `--seed=S`,
+ * `--retries=K`, `--timeout-ms=T`, `--checkpoint=FILE` and
+ * `--resume`; see docs/RESILIENCE.md for the journal format and
+ * resume semantics.
+ *
+ * `mc` accepts `--workload=streaming|chase|zipfian`,
+ * `--policy=open|closed|timeout|cap`, `--reqs=N`, `--seed=S`,
+ * `--trace=FILE` (replay a JSONL *address* trace instead of a
+ * generator) and `--dump-trace=FILE` (record the generated stream);
+ * `mcsweep` accepts `--reqs=N`.  See docs/MC.md.
  *
  * Exit codes: 0 success; 1 a run that executed but failed (lint
  * errors, metrics mismatch, quarantined shards, failed AIB
@@ -67,6 +77,9 @@
 #include "dram/faulty_device.h"
 #include "dram/hbm_stack.h"
 #include "mapping/dimm.h"
+#include "mc/mc.h"
+#include "mc/sweep.h"
+#include "mc/workload.h"
 #include "util/metrics.h"
 #include "util/table.h"
 
@@ -77,16 +90,22 @@ namespace {
 /** Parsed command-line flags (see the usage text). */
 struct Flags
 {
-    std::string trace;       //!< --trace=FILE (JSONL command trace).
+    std::string trace;       //!< --trace=FILE (JSONL trace; for `mc`
+                             //!< an *address* trace to replay, else a
+                             //!< command trace to write).
     std::string device;      //!< --device=chip|dimm|hbm[:N].
     std::string faults;      //!< --faults=SPEC (fault injection).
     std::string fastpath;    //!< --fastpath=off|exact|analytic.
     std::string checkpoint;  //!< --checkpoint=FILE (shard journal).
+    std::string workload;    //!< --workload=streaming|chase|zipfian.
+    std::string policy;      //!< --policy=open|closed|timeout|cap.
+    std::string dumpTrace;   //!< --dump-trace=FILE (address trace out).
     bool resume = false;     //!< --resume (skip journaled shards).
     unsigned jobs = 0;       //!< --jobs=N (0 = DRAMSCOPE_JOBS / hw).
     uint64_t seed = 0x5eedULL;  //!< --seed=S (shard RNG base seed).
     uint32_t retries = 3;    //!< --retries=K (attempts per shard).
     uint64_t timeoutMs = 0;  //!< --timeout-ms=T (shard watchdog).
+    uint64_t reqs = 1000;    //!< --reqs=N (mc requests).
 };
 
 /**
@@ -228,16 +247,28 @@ usage()
         "  lint <preset> [name]          static analysis of built-in "
         "programs\n"
         "  sweep <preset> [shards] [n]   resilient BER sweep\n"
+        "  mc <preset>                   scheduled traffic through the "
+        "memory controller\n"
+        "  mcsweep <preset>              resilient policy x workload "
+        "mc sweep\n"
         "hammer/press/rowcopy accept --trace=FILE (JSONL command "
         "trace)\n"
-        "device commands accept --device=chip|dimm|hbm[:channel] "
-        "(default chip)\n"
-        "device commands accept --faults=SPEC (fault injection; see "
+        "device commands (hammer, press, rowcopy, retention, report, "
+        "stats, sweep, mc, mcsweep) accept:\n"
+        "  --device=chip|dimm|hbm[:channel]   backend (default chip; "
+        "sweep/mcsweep: chip|dimm)\n"
+        "  --faults=SPEC                      fault injection (see "
         "docs/RESILIENCE.md)\n"
-        "device commands accept --fastpath=off|exact|analytic (loop "
-        "engine; default from DRAMSCOPE_FASTPATH, else exact)\n"
-        "sweep accepts --jobs=N --seed=S --retries=K --timeout-ms=T "
-        "--checkpoint=FILE --resume\n");
+        "  --fastpath=off|exact|analytic      loop engine (default "
+        "from DRAMSCOPE_FASTPATH, else exact)\n"
+        "sweep/mcsweep accept --jobs=N --seed=S --retries=K "
+        "--timeout-ms=T --checkpoint=FILE --resume\n"
+        "mc accepts --workload=streaming|chase|zipfian "
+        "--policy=open|closed|timeout|cap --reqs=N --seed=S\n"
+        "  --trace=FILE (replay a JSONL address trace) "
+        "--dump-trace=FILE (record the stream); mcsweep accepts "
+        "--reqs=N\n"
+        "see docs/MC.md for the policy table\n");
     return 2;
 }
 
@@ -666,6 +697,202 @@ cmdSweep(const std::string &preset, uint64_t shards, uint64_t hammers,
     return report.complete() ? 0 : 1;
 }
 
+/**
+ * Scheduled traffic through the memory-controller layer: generate (or
+ * replay) a request stream, schedule it FR-FCFS under the selected
+ * open-row policy, lint the emitted program, execute it on the
+ * selected backend and print the row-buffer/exposure statistics.
+ * Output is deterministic for fixed flags (CI diffs two runs).
+ */
+int
+cmdMc(const std::string &preset, const Flags &flags)
+{
+    const auto cfg = dram::makePreset(preset);
+
+    const std::string wl_id =
+        flags.workload.empty() ? "zipfian" : flags.workload;
+    const auto workload = mc::workloadFromString(wl_id);
+    if (!workload) {
+        std::fprintf(stderr,
+                     "error: unknown --workload '%s' "
+                     "(streaming|chase|zipfian)\n",
+                     wl_id.c_str());
+        return 2;
+    }
+    const std::string pol_id =
+        flags.policy.empty() ? "open" : flags.policy;
+    const auto policy = mc::policyFromString(pol_id);
+    if (!policy) {
+        std::fprintf(stderr,
+                     "error: unknown --policy '%s' "
+                     "(open|closed|timeout|cap)\n",
+                     pol_id.c_str());
+        return 2;
+    }
+
+    std::vector<mc::Request> reqs;
+    try {
+        if (!flags.trace.empty()) {
+            reqs = mc::readTrace(flags.trace);
+        } else {
+            mc::WorkloadOptions wopt;
+            wopt.requests = flags.reqs;
+            wopt.seed = flags.seed;
+            reqs = mc::makeWorkload(*workload, cfg, wopt);
+        }
+        if (!flags.dumpTrace.empty())
+            mc::writeTrace(flags.dumpTrace, reqs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    mc::SchedulerOptions sopt;
+    sopt.policy = *policy;
+    const auto result = mc::schedule(reqs, cfg, sopt);
+
+    const auto lint_report = bender::lint::lint(result.program, cfg);
+    size_t unexpected = 0;
+    for (const auto &d : lint_report.diags) {
+        if (!d.expected) {
+            ++unexpected;
+            std::fprintf(stderr, "lint: %s\n", d.message.c_str());
+        }
+    }
+
+    auto dut = makeDevice(cfg, flags.device,
+                          parseFaultsOrExit(flags.faults));
+    bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
+    try {
+        host.run(result.program);
+    } catch (const std::exception &e) {
+        std::printf("mc run aborted by the device: %s\n", e.what());
+        return 1;
+    }
+
+    const auto &st = result.stats;
+    std::printf("mc %s workload=%s policy=%s %s\n", preset.c_str(),
+                flags.trace.empty() ? mc::workloadId(*workload)
+                                    : "trace",
+                mc::policyId(*policy), st.summary().c_str());
+    Table t({"Bank", "ACTs", "Hits", "Misses", "Conflicts"});
+    for (size_t b = 0; b < st.bankActs.size(); ++b) {
+        t.addRow({Table::num(uint64_t(b)), Table::num(st.bankActs[b]),
+                  Table::num(st.bankHits[b]),
+                  Table::num(st.bankMisses[b]),
+                  Table::num(st.bankConflicts[b])});
+    }
+    t.print();
+    std::printf("lint: %s; device violations: %llu\n",
+                unexpected == 0 ? "clean"
+                                : "UNEXPECTED DIAGNOSTICS",
+                (unsigned long long)dut.dev->violationCount());
+    if (!flags.dumpTrace.empty()) {
+        std::printf("trace: %zu requests -> %s\n", reqs.size(),
+                    flags.dumpTrace.c_str());
+    }
+    return unexpected == 0 ? 0 : 1;
+}
+
+/**
+ * Resilient policy x workload sweep over the mc layer: one shard per
+ * (workload, policy) cell, driven through SweepRunner::runResilient
+ * so retry/quarantine, the watchdog, checkpoint/resume and fault
+ * injection all apply.  Prints greppable `result ...` lines in shard
+ * order, bit-identical for any --jobs.
+ */
+int
+cmdMcSweep(const std::string &preset, const Flags &flags)
+{
+    const auto cfg = dram::makePreset(preset);
+    const auto faults = parseFaultsOrExit(flags.faults);
+    if (!flags.device.empty() && flags.device != "chip" &&
+        flags.device != "dimm") {
+        // HBM channels are borrowed from a stack, which does not fit
+        // the sweep's owning replica factory.
+        std::fprintf(stderr,
+                     "error: mcsweep supports --device=chip|dimm "
+                     "only\n");
+        return 2;
+    }
+
+    auto dut = makeDevice(cfg, flags.device, faults);
+    bender::Host host(*dut.dev);
+    applyFastPath(host, flags);
+    obs::MetricsRegistry metrics;
+    host.setMetrics(&metrics);
+
+    core::SweepOptions sopts;
+    sopts.jobs = flags.jobs;
+    sopts.seed = flags.seed;
+    const bool dimm = flags.device == "dimm";
+    sopts.deviceFactory = [&faults, dimm](const dram::DeviceConfig &c)
+        -> std::unique_ptr<dram::Device> {
+        std::unique_ptr<dram::Device> dev;
+        if (dimm)
+            dev = std::make_unique<mapping::Dimm>(c);
+        else
+            dev = std::make_unique<dram::Chip>(c);
+        if (!faults.empty())
+            dev = std::make_unique<dram::FaultyDevice>(std::move(dev),
+                                                       faults);
+        return dev;
+    };
+    core::SweepRunner runner(host, sopts);
+
+    core::ResilienceOptions ropts;
+    ropts.retry.maxAttempts = flags.retries ? flags.retries : 1;
+    ropts.shardTimeoutMs = flags.timeoutMs;
+    ropts.checkpointPath = flags.checkpoint;
+    ropts.resume = flags.resume;
+    ropts.tag = "mc/" + preset + "/" + flags.device + "/r" +
+                std::to_string(flags.reqs) + "/" + faults.toString();
+
+    mc::McSweepOptions mopt;
+    mopt.requests = flags.reqs;
+    mopt.seed = flags.seed;
+
+    core::SweepReport report;
+    try {
+        report = mc::runMcSweep(runner, mopt, ropts);
+    } catch (const core::ResumeError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    for (const auto &rec : report.shards) {
+        if (rec.status == core::ShardStatus::Quarantined) {
+            std::printf("result shard=%llu status=%s attempts=%u "
+                        "error=\"%s\"\n",
+                        (unsigned long long)rec.shard,
+                        core::toString(rec.status), rec.attempts,
+                        rec.error.c_str());
+        } else {
+            std::printf("result %s status=%s attempts=%u\n",
+                        rec.payload.c_str(), core::toString(rec.status),
+                        rec.attempts);
+        }
+    }
+    std::printf("mcsweep %llu shards: %llu executed, %llu resumed, "
+                "%llu retried, %llu quarantined, %llu timeout\n",
+                (unsigned long long)report.shards.size(),
+                (unsigned long long)report.executed,
+                (unsigned long long)report.resumed,
+                (unsigned long long)report.retries,
+                (unsigned long long)report.quarantined,
+                (unsigned long long)report.timeouts);
+    const auto snap = metrics.snapshot();
+    for (const auto &[name, value] : snap.counters) {
+        if (name.rfind("mc.", 0) == 0 ||
+            name.rfind("faults.", 0) == 0 ||
+            name.rfind("sweep.", 0) == 0)
+            std::printf("metric %s %llu\n", name.c_str(),
+                        (unsigned long long)value);
+    }
+    return report.complete() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -673,7 +900,16 @@ main(int argc, char **argv)
 {
     // Split flags from positional arguments.  Unknown flags are usage
     // errors: a mistyped --resune silently ignored would rerun every
-    // shard of the checkpoint the user meant to resume.
+    // shard of the checkpoint the user meant to resume.  The
+    // diagnostic names the subcommand (first positional argument) so
+    // a long scripted pipeline points at the offending invocation.
+    std::string subcommand;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--", 0) != 0) {
+            subcommand = argv[i];
+            break;
+        }
+    }
     std::vector<std::string> args;
     Flags flags;
     for (int i = 1; i < argc; ++i) {
@@ -705,9 +941,24 @@ main(int argc, char **argv)
         else if (arg.rfind("--timeout-ms=", 0) == 0)
             flags.timeoutMs =
                 parseU64OrExit(arg.substr(13), "--timeout-ms");
+        else if (arg.rfind("--workload=", 0) == 0)
+            flags.workload = arg.substr(11);
+        else if (arg.rfind("--policy=", 0) == 0)
+            flags.policy = arg.substr(9);
+        else if (arg.rfind("--dump-trace=", 0) == 0)
+            flags.dumpTrace = arg.substr(13);
+        else if (arg.rfind("--reqs=", 0) == 0)
+            flags.reqs = parseU64OrExit(arg.substr(7), "--reqs");
         else {
-            std::fprintf(stderr, "error: unknown flag '%s'\n",
-                         arg.c_str());
+            if (subcommand.empty()) {
+                std::fprintf(stderr, "error: unknown flag '%s'\n",
+                             arg.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "error: unknown flag '%s' (subcommand "
+                             "'%s')\n",
+                             arg.c_str(), subcommand.c_str());
+            }
             return usage();
         }
     }
@@ -757,6 +1008,10 @@ main(int argc, char **argv)
                                : uint64_t(200000);
             return cmdSweep(preset, shards, n, flags);
         }
+        if (cmd == "mc")
+            return cmdMc(preset, flags);
+        if (cmd == "mcsweep")
+            return cmdMcSweep(preset, flags);
     }
     return usage();
 }
