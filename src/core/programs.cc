@@ -8,7 +8,7 @@
 #include <algorithm>
 
 #include "bender/host.h"
-#include "core/protect/tracker.h"
+#include "core/protect/mitigation.h"
 #include "util/log.h"
 
 namespace dramscope {
@@ -53,6 +53,25 @@ builtinPrograms(const dram::DeviceConfig &cfg)
     catalog.push_back({"mitigate", "protect/tracker",
                        ProtectedMemory::makeMitigationProgram(cfg, b,
                                                               row)});
+    // One exemplar command sequence per scheduler-injectable
+    // mitigation: the exact victim-refresh burst RFM fires on a
+    // hottest-table hit, and the double row-activation a swap
+    // migration costs (the data burst itself is host-side).
+    {
+        MitigationSequence rfm;
+        rfm.kind = MitigationKind::Rfm;
+        rfm.bank = b;
+        rfm.rows = victimRows(cfg, row, true);
+        catalog.push_back(
+            {"rfm-mitigate", "protect/mitigation", rfm.program(cfg)});
+
+        MitigationSequence swap;
+        swap.kind = MitigationKind::RowSwap;
+        swap.bank = b;
+        swap.rows = {row, dst};
+        catalog.push_back(
+            {"rowswap-migrate", "protect/mitigation", swap.program(cfg)});
+    }
     return catalog;
 }
 

@@ -14,47 +14,27 @@ namespace core {
 
 RfmEngine::RfmEngine(dram::Device &dev, dram::BankId bank,
                      uint32_t table_size)
-    : dev_(dev), bank_(bank), table_size_(table_size)
+    : dev_(dev), bank_(bank), table_(table_size)
 {
-    fatalIf(table_size_ == 0, "RfmEngine: empty table");
 }
 
 void
 RfmEngine::onActivate(dram::RowAddr logical_row, uint64_t count)
 {
-    auto it = table_.find(logical_row);
-    if (it != table_.end()) {
-        it->second += count;
-        return;
-    }
-    if (table_.size() < table_size_) {
-        table_.emplace(logical_row, count);
-        return;
-    }
-    // Space-saving: replace the minimum entry, inheriting its count.
-    auto min_it = std::min_element(
-        table_.begin(), table_.end(), [](const auto &a, const auto &b) {
-            return a.second < b.second;
-        });
-    const uint64_t floor = min_it->second;
-    table_.erase(min_it);
-    table_.emplace(logical_row, floor + count);
+    table_.account(logical_row, count);
 }
 
 void
 RfmEngine::onRfm(dram::NanoTime now)
 {
-    if (table_.empty())
+    const auto hot = table_.hottest();
+    if (!hot)
         return;
-    auto hot = std::max_element(
-        table_.begin(), table_.end(), [](const auto &a, const auto &b) {
-            return a.second < b.second;
-        });
     // The device translates through its own remap and knows the
     // coupled relation — exactly why the paper favours in-DRAM RFM
     // mitigation for coupled-row protection (SS VI-B).
-    mitigations_ += dev_.refreshAggressorNeighbors(bank_, hot->first, now);
-    hot->second /= 2;  // Decay instead of reset: conservative.
+    mitigations_ += dev_.refreshAggressorNeighbors(bank_, *hot, now);
+    table_.decay(*hot);
 }
 
 RfmController::RfmController(RfmEngine &engine, uint64_t raaimt)

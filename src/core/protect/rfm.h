@@ -19,9 +19,9 @@
 #ifndef DRAMSCOPE_CORE_PROTECT_RFM_H
 #define DRAMSCOPE_CORE_PROTECT_RFM_H
 
-#include <unordered_map>
 #include <vector>
 
+#include "core/protect/mitigation.h"
 #include "dram/device.h"
 
 namespace dramscope {
@@ -57,8 +57,7 @@ class RfmEngine
   private:
     dram::Device &dev_;
     dram::BankId bank_;
-    uint32_t table_size_;
-    std::unordered_map<dram::RowAddr, uint64_t> table_;  //!< Logical.
+    SpaceSavingTable table_;  //!< Logical addresses.
     uint64_t mitigations_ = 0;
 };
 

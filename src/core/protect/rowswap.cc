@@ -5,61 +5,45 @@
 
 #include "core/protect/rowswap.h"
 
-#include <algorithm>
-
-#include "util/log.h"
+#include "core/protect/mitigation.h"
 
 namespace dramscope {
 namespace core {
 
 RowSwapDefense::RowSwapDefense(bender::Host &host, RowSwapOptions opts)
-    : host_(host), opts_(opts), next_spare_(opts.spareBase)
+    : host_(host),
+      mitigation_(
+          std::make_unique<RowSwapMitigation>(host.config(), opts))
 {
-    fatalIf(opts_.threshold == 0, "RowSwapDefense: zero threshold");
-    fatalIf(opts_.coupledAware && opts_.coupledDistance == 0,
-            "RowSwapDefense: coupledAware needs a distance");
 }
+
+RowSwapDefense::~RowSwapDefense() = default;
 
 dram::RowAddr
 RowSwapDefense::resolve(dram::RowAddr row) const
 {
-    const auto it = indirection_.find(row);
-    return it == indirection_.end() ? row : it->second;
+    return mitigation_->resolve(0, row);
 }
 
-void
-RowSwapDefense::swapOut(dram::BankId bank, dram::RowAddr row)
+uint64_t
+RowSwapDefense::swaps() const
 {
-    // Relocate the hot MC address to the next spare.  Data migration
-    // is modeled as a straight row read/write through the controller.
-    const dram::RowAddr from = resolve(row);
-    const dram::RowAddr to = next_spare_;
-    next_spare_ += 4;  // Keep spares apart so they never interact.
-    const BitVec data = host_.readRowBits(bank, from);
-    host_.writeRowBits(bank, to, data);
-    indirection_[row] = to;
-    counters_[row] = 0;
-    ++swaps_;
+    return mitigation_->swaps();
 }
 
 void
 RowSwapDefense::hammer(dram::BankId bank, dram::RowAddr row,
                        uint64_t count)
 {
-    const uint64_t chunk = std::max<uint64_t>(1, opts_.threshold / 4);
-    uint64_t remaining = count;
-    while (remaining > 0) {
-        const uint64_t n = std::min(chunk, remaining);
-        host_.hammer(bank, resolve(row), n);
-        remaining -= n;
-        uint64_t &ctr = counters_[row];
-        ctr += n;
-        if (ctr >= opts_.threshold) {
-            swapOut(bank, row);
-            if (opts_.coupledAware)
-                swapOut(bank, row ^ opts_.coupledDistance);
-        }
-    }
+    // The swap decision comes from the shared mitigation; the data
+    // migration is modeled as a straight row read/write through the
+    // controller (sequence rows are {source, target}).
+    hammerThroughMitigation(
+        host_, *mitigation_, bank, row, count,
+        [&](const MitigationSequence &seq) {
+            const BitVec data = host_.readRowBits(seq.bank, seq.rows[0]);
+            host_.writeRowBits(seq.bank, seq.rows[1], data);
+        });
 }
 
 } // namespace core

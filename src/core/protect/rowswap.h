@@ -14,6 +14,7 @@
 #ifndef DRAMSCOPE_CORE_PROTECT_ROWSWAP_H
 #define DRAMSCOPE_CORE_PROTECT_ROWSWAP_H
 
+#include <memory>
 #include <unordered_map>
 
 #include "bender/host.h"
@@ -21,6 +22,8 @@
 
 namespace dramscope {
 namespace core {
+
+class RowSwapMitigation;
 
 /** Row-swap defense options. */
 struct RowSwapOptions
@@ -38,11 +41,19 @@ struct RowSwapOptions
     uint32_t coupledDistance = 0;
 };
 
-/** MC-side indirection with threshold-triggered swaps. */
+/**
+ * MC-side indirection with threshold-triggered swaps.  A thin
+ * adapter over the unified Mitigation interface
+ * (core/protect/mitigation.h): the swap decision and chunking live
+ * in RowSwapMitigation + hammerThroughMitigation, shared with the
+ * scheduled-traffic path; only the data migration (a straight row
+ * read/write through the controller) is supplied here.
+ */
 class RowSwapDefense
 {
   public:
     RowSwapDefense(bender::Host &host, RowSwapOptions opts);
+    ~RowSwapDefense();
 
     /** Attacker-visible hammer through the defended controller. */
     void hammer(dram::BankId bank, dram::RowAddr row, uint64_t count);
@@ -51,17 +62,11 @@ class RowSwapDefense
     dram::RowAddr resolve(dram::RowAddr row) const;
 
     /** Swaps performed so far. */
-    uint64_t swaps() const { return swaps_; }
+    uint64_t swaps() const;
 
   private:
-    void swapOut(dram::BankId bank, dram::RowAddr row);
-
     bender::Host &host_;
-    RowSwapOptions opts_;
-    std::unordered_map<dram::RowAddr, dram::RowAddr> indirection_;
-    std::unordered_map<dram::RowAddr, uint64_t> counters_;
-    dram::RowAddr next_spare_;
-    uint64_t swaps_ = 0;
+    std::unique_ptr<RowSwapMitigation> mitigation_;
 };
 
 } // namespace core

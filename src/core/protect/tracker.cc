@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "core/protect/mitigation.h"
 #include "util/log.h"
 
 namespace dramscope {
@@ -66,10 +67,13 @@ ActivationTracker::reset()
 }
 
 ProtectedMemory::ProtectedMemory(bender::Host &host, TrackerOptions opts)
-    : host_(host), tracker_(opts),
-      chunk_(std::max<uint64_t>(1, opts.threshold / 4))
+    : host_(host),
+      mitigation_(
+          std::make_unique<GrapheneMitigation>(host.config(), opts))
 {
 }
+
+ProtectedMemory::~ProtectedMemory() = default;
 
 bender::Program
 ProtectedMemory::makeMitigationProgram(const dram::DeviceConfig &cfg,
@@ -79,41 +83,24 @@ ProtectedMemory::makeMitigationProgram(const dram::DeviceConfig &cfg,
     // Victim refresh: activating the logical neighbours restores
     // their cells.  The MC assumes +-1 logical adjacency (it cannot
     // know the internal remap or coupling unless told).
-    bender::Program p;
-    const auto &t = cfg.timing;
-    for (const int d : {-1, +1}) {
-        const int64_t victim = int64_t(row) + d;
-        if (victim < 0 || victim >= int64_t(cfg.rowsPerBank))
-            continue;
-        p.act(bank, dram::RowAddr(victim))
-            .sleepNs(t.tRasNs)
-            .pre(bank)
-            .sleepNs(t.tRpNs);
-    }
-    return p;
-}
-
-void
-ProtectedMemory::mitigate(dram::BankId bank, dram::RowAddr row)
-{
-    host_.run(makeMitigationProgram(host_.config(), bank, row));
+    MitigationSequence seq;
+    seq.kind = MitigationKind::Graphene;
+    seq.bank = bank;
+    seq.rows = victimRows(cfg, row, /*device_aware=*/false);
+    return seq.program(cfg);
 }
 
 void
 ProtectedMemory::hammer(dram::BankId bank, dram::RowAddr row,
                         uint64_t count)
 {
-    // Chunked execution keeps the simulation fast while preserving
-    // tracker semantics: counters accumulate exactly `count`
-    // activations and mitigations fire at the same points.
-    uint64_t remaining = count;
-    while (remaining > 0) {
-        const uint64_t n = std::min(chunk_, remaining);
-        host_.hammer(bank, row, n);
-        for (const auto victim_source : tracker_.onActivate(row, n))
-            mitigate(bank, victim_source);
-        remaining -= n;
-    }
+    hammerThroughMitigation(host_, *mitigation_, bank, row, count);
+}
+
+const ActivationTracker &
+ProtectedMemory::tracker() const
+{
+    return mitigation_->tracker(0);
 }
 
 } // namespace core

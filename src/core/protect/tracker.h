@@ -13,6 +13,7 @@
 #define DRAMSCOPE_CORE_PROTECT_TRACKER_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,8 @@
 
 namespace dramscope {
 namespace core {
+
+class GrapheneMitigation;
 
 /** Tracker configuration. */
 struct TrackerOptions
@@ -72,19 +75,25 @@ class ActivationTracker
 };
 
 /**
- * A memory controller that routes an attacker's hammering through an
- * ActivationTracker and performs the victim refreshes on the device.
- * Mitigation activates the logical neighbours of the tracked row —
- * which protects the coupled row's victims only when the tracker is
- * coupled-aware.
+ * A memory controller that routes an attacker's hammering through a
+ * Graphene-style tracker and performs the victim refreshes on the
+ * device.  Mitigation activates the logical neighbours of the
+ * tracked row — which protects the coupled row's victims only when
+ * the tracker is coupled-aware.
+ *
+ * A thin adapter over the unified Mitigation interface
+ * (core/protect/mitigation.h): the chunking and firing logic lives
+ * in hammerThroughMitigation, shared with the scheduled-traffic
+ * path.
  */
 class ProtectedMemory
 {
   public:
     ProtectedMemory(bender::Host &host, TrackerOptions opts);
+    ~ProtectedMemory();
 
     /**
-     * The victim-refresh program mitigate() executes: one in-spec
+     * The victim-refresh program a firing executes: one in-spec
      * ACT..PRE cycle per logical neighbour of @p row that exists in
      * @p cfg.  Exposed for the program linter and its catalog.
      */
@@ -98,14 +107,12 @@ class ProtectedMemory
      */
     void hammer(dram::BankId bank, dram::RowAddr row, uint64_t count);
 
-    const ActivationTracker &tracker() const { return tracker_; }
+    /** The bank-0 tracker (the attack surface tests exercise). */
+    const ActivationTracker &tracker() const;
 
   private:
-    void mitigate(dram::BankId bank, dram::RowAddr row);
-
     bender::Host &host_;
-    ActivationTracker tracker_;
-    uint64_t chunk_;
+    std::unique_ptr<GrapheneMitigation> mitigation_;
 };
 
 } // namespace core

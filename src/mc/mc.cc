@@ -99,6 +99,11 @@ ScheduleStats::publish(obs::MetricsRegistry &m) const
     m.counter("mc.act").add(acts);
     m.counter("mc.pre").add(pres);
     m.counter("mc.ref").add(refs);
+    if (mitigation != core::MitigationKind::None) {
+        m.counter("mc.mitigation.fired").add(mitFired);
+        m.counter("mc.mitigation.cmds").add(mitCmds);
+        m.counter("mc.mitigation.lost_rowhits").add(mitLostRowHits);
+    }
     for (size_t b = 0; b < bankActs.size(); ++b) {
         const std::string tag = "mc.bank" + std::to_string(b);
         m.counter(tag + ".act").add(bankActs[b]);
@@ -112,8 +117,8 @@ ScheduleStats::publish(obs::MetricsRegistry &m) const
 std::string
 ScheduleStats::summary() const
 {
-    char buf[256];
-    std::snprintf(
+    char buf[320];
+    const int n = std::snprintf(
         buf, sizeof(buf),
         "reqs=%llu rd=%llu wr=%llu hit=%llu miss=%llu conflict=%llu "
         "act=%llu pre=%llu ref=%llu hit-rate=%.4f act-per-us=%.3f "
@@ -125,6 +130,16 @@ ScheduleStats::summary() const
         (unsigned long long)refs, rowHitRate(), actRatePerUs(),
         (unsigned long long)maxRowActsPerRefWindow,
         (long long)(spanPs / 1000));
+    // Mitigation fields appear only when one is active, keeping the
+    // None summary byte-identical to the unmitigated scheduler's.
+    if (mitigation != core::MitigationKind::None && n > 0 &&
+        size_t(n) < sizeof(buf)) {
+        std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                      " mit-fired=%llu mit-cmds=%llu mit-lost-hits=%llu",
+                      (unsigned long long)mitFired,
+                      (unsigned long long)mitCmds,
+                      (unsigned long long)mitLostRowHits);
+    }
     return buf;
 }
 
@@ -168,12 +183,17 @@ struct Candidate
     Action action = Action::Col;
     uint32_t bank = 0;
     size_t req = std::numeric_limits<size_t>::max();  //!< Request idx.
+    bool mit = false;  //!< Mitigation work (forced close / victim op).
 
     bool
     beats(const Candidate &o) const
     {
         if (t != o.t)
             return t < o.t;
+        // Injected mitigation work wins ties: it models the hardware
+        // draining a mandatory RFM/victim refresh before demand.
+        if (mit != o.mit)
+            return mit;
         if (action != o.action)
             return uint8_t(action) < uint8_t(o.action);
         if (req != o.req)
@@ -192,6 +212,14 @@ struct BankSched
     int64_t lastUsePs = 0;        //!< Last ACT/RD/WR issue time.
     uint32_t hitsSinceAct = 0;    //!< Column commands this activation.
     bool conflictPre = false;     //!< Last close was a conflict close.
+
+    /// @name Injected mitigation work (unused when mitigation=None).
+    /// @{
+    std::deque<dram::RowAddr> mitRows;  //!< Victim ACT..PRE cycles due.
+    bool mitOpen = false;         //!< Open row is a mitigation victim.
+    int64_t extraPs = 0;          //!< Post-sequence blocking (swaps).
+    int64_t blockedUntil = 0;     //!< No ACT before this time.
+    /// @}
 };
 
 } // namespace
@@ -211,13 +239,20 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
     const int64_t tfaw = ps(tm.tFawNs);
     const int64_t trfc = ps(tm.tRfcNs);
     const int64_t idle = ps(opt.maxRowIdleNs);
-    const int64_t trefi = opt.refreshIntervalNs < 0.0
+    const int64_t trefi = opt.refreshIntervalNs < 0
                               ? ps(tm.tRefiNs)
-                              : ps(opt.refreshIntervalNs);
+                              : opt.refreshIntervalNs * 1000;
+
+    // The active defense; nullptr for None keeps every mitigation
+    // branch below dead and the emitted program byte-identical to the
+    // unmitigated scheduler.
+    const std::unique_ptr<core::Mitigation> mit =
+        core::makeMitigation(opt.mitigation, cfg, opt.mitigationOptions);
 
     ScheduleResult out;
     auto &prog = out.program;
     auto &st = out.stats;
+    st.mitigation = opt.mitigation;
     st.bankHits.assign(cfg.numBanks, 0);
     st.bankMisses.assign(cfg.numBanks, 0);
     st.bankConflicts.assign(cfg.numBanks, 0);
@@ -260,7 +295,7 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
     };
 
     const auto earliestAct = [&](const BankSched &b) {
-        int64_t t = clock;
+        int64_t t = std::max(clock, b.blockedUntil);
         if (b.lastPrePs >= 0)
             t = std::max(t, b.lastPrePs + trp);
         if (b.lastActPs >= 0)
@@ -276,14 +311,50 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
         return std::max(clock, b.lastActPs + tras);
     };
 
-    const auto issueAct = [&](uint32_t bk, dram::RowAddr row) {
+    /**
+     * Drains the mitigation's pending sequences into per-bank work
+     * queues and closes the exposure windows of the neutralized rows
+     * (a victim refresh resets a row's accumulated disturbance).
+     */
+    const auto acceptSequences = [&]() {
+        if (!mit)
+            return;
+        for (const auto &seq : mit->pendingCommands()) {
+            ++st.mitFired;
+            auto &b = banks[seq.bank];
+            for (const auto r : seq.rows)
+                b.mitRows.push_back(r);
+            b.extraPs += seq.extraPs;
+            for (const auto nr : seq.neutralized) {
+                const auto it =
+                    windowActs.find(uint64_t(seq.bank) << 32 | nr);
+                if (it == windowActs.end())
+                    continue;
+                st.exposureSamples.push_back(it->second);
+                st.maxRowActsPerRefWindow =
+                    std::max(st.maxRowActsPerRefWindow, it->second);
+                windowActs.erase(it);
+            }
+        }
+    };
+
+    /**
+     * Demand ACT: resolves through the mitigation's indirection (row
+     * swap), reports the logical activation, and accepts any newly
+     * fired sequences.  @p for_mit issues a victim/migration cycle
+     * instead: counted as a mitigation command, invisible to demand
+     * stats and exposure windows.
+     */
+    const auto issueAct = [&](uint32_t bk, dram::RowAddr row,
+                              bool for_mit) {
         auto &b = banks[bk];
         advanceTo(ceilNs(earliestAct(b)));
-        prog.act(dram::BankId(bk), row);
+        const dram::RowAddr phys =
+            (!for_mit && mit) ? mit->resolve(dram::BankId(bk), row) : row;
+        prog.act(dram::BankId(bk), phys);
         const int64_t t = clock;
         clock += tck;
         b.open = true;
-        b.openRow = row;
         b.lastActPs = t;
         b.lastUsePs = t;
         b.hitsSinceAct = 0;
@@ -291,9 +362,19 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
         faw.push_back(t);
         if (faw.size() > 4)
             faw.pop_front();
+        if (for_mit) {
+            b.mitOpen = true;
+            ++st.mitCmds;
+            return;
+        }
+        b.openRow = row;  // Hit detection stays on logical addresses.
         ++st.acts;
         ++st.bankActs[bk];
-        ++windowActs[uint64_t(bk) << 32 | row];
+        ++windowActs[uint64_t(bk) << 32 | phys];
+        if (mit) {
+            mit->onActivate(dram::BankId(bk), row, 1);
+            acceptSequences();
+        }
     };
 
     const auto issuePre = [&](uint32_t bk, int64_t not_before,
@@ -304,8 +385,41 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
         b.lastPrePs = clock;
         clock += tck;
         b.open = false;
+        if (b.mitOpen) {
+            // Closing a victim/migration cycle; once the bank's
+            // sequence is drained, any data-burst cost blocks the
+            // next activation.
+            b.mitOpen = false;
+            b.conflictPre = false;
+            ++st.mitCmds;
+            if (b.mitRows.empty() && b.extraPs > 0) {
+                b.blockedUntil = clock + b.extraPs;
+                b.extraPs = 0;
+            }
+            return;
+        }
         b.conflictPre = conflict;
         ++st.pres;
+    };
+
+    /** Arrived hits on @p b's open row that a forced close discards. */
+    const auto countLostHits = [&](const BankSched &b) {
+        const size_t depth = std::min(b.q.size(), kHitWindow);
+        for (size_t k = 0; k < depth; ++k) {
+            const size_t r = b.q[k];
+            if (where[r].row == b.openRow && arrival(r) <= clock)
+                ++st.mitLostRowHits;
+        }
+    };
+
+    /** True while any bank still owes mitigation commands. */
+    const auto anyMitWork = [&]() {
+        if (!mit)
+            return false;
+        for (const auto &b : banks)
+            if (b.mitOpen || !b.mitRows.empty())
+                return true;
+        return false;
     };
 
     /** Closes every open bank (tRAS-ordered) — REF / end of stream. */
@@ -338,14 +452,31 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
         windowActs.clear();
     };
 
-    while (pending > 0) {
+    while (pending > 0 || anyMitWork()) {
         // Per-bank best next command, then the global FR-FCFS pick.
         Candidate best;
         for (uint32_t bk = 0; bk < cfg.numBanks; ++bk) {
             auto &b = banks[bk];
             Candidate c;
             c.bank = bk;
-            if (!b.open) {
+            if (b.mitOpen) {
+                // A victim/migration row is open: close it.
+                c.action = Action::Pre;
+                c.mit = true;
+                c.t = ceilNs(earliestPre(b));
+            } else if (!b.mitRows.empty()) {
+                // Mitigation work owns the bank until its sequence
+                // drains: force the demand row closed, then cycle the
+                // victims.
+                c.mit = true;
+                if (b.open) {
+                    c.action = Action::Pre;
+                    c.t = ceilNs(earliestPre(b));
+                } else {
+                    c.action = Action::Act;
+                    c.t = ceilNs(earliestAct(b));
+                }
+            } else if (!b.open) {
                 if (b.q.empty())
                     continue;
                 const size_t head = b.q.front();
@@ -440,18 +571,38 @@ schedule(const std::vector<Request> &reqs, const dram::DeviceConfig &cfg,
             ++st.refs;
             nextRef += trefi;
             closeExposureWindow();
+            if (mit) {
+                // The refresh-window boundary decays the defense's
+                // state in sync with the exposure bookkeeping.
+                mit->onRefreshWindow();
+                acceptSequences();
+            }
             continue;
         }
 
         auto &b = banks[best.bank];
         switch (best.action) {
           case Action::Act: {
+            if (best.mit) {
+                const dram::RowAddr victim = b.mitRows.front();
+                b.mitRows.pop_front();
+                issueAct(best.bank, victim, /*for_mit=*/true);
+                break;
+            }
             const size_t head = b.q.front();
             advanceTo(ceilNs(std::max(earliestAct(b), arrival(head))));
-            issueAct(best.bank, where[head].row);
+            issueAct(best.bank, where[head].row, /*for_mit=*/false);
             break;
           }
           case Action::Pre: {
+            if (best.mit) {
+                // Forced close for mitigation work: arrived hits on
+                // the demand row are the tracker's collateral cost.
+                if (!b.mitOpen)
+                    countLostHits(b);
+                issuePre(best.bank, clock, false);
+                break;
+            }
             const bool conflict =
                 !b.q.empty() && where[b.q.front()].row != b.openRow;
             issuePre(best.bank, clock, conflict);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bender/program.h"
+#include "core/protect/mitigation.h"
 #include "dram/config.h"
 #include "util/metrics.h"
 
@@ -160,12 +161,27 @@ struct SchedulerOptions
     uint32_t maxRowHits = 4;
 
     /**
-     * Auto-refresh insertion interval: < 0 selects the config's
-     * tREFI, 0 disables REF insertion, > 0 overrides (ns).  Each REF
-     * is preceded by precharging every open bank and followed by a
-     * tRFC wait, and it closes one aggressor-exposure window.
+     * Auto-refresh insertion interval in whole nanoseconds: < 0
+     * selects the config's tREFI, 0 disables REF insertion, > 0
+     * overrides.  Each REF is preceded by precharging every open bank
+     * and followed by a tRFC wait, and it closes one
+     * aggressor-exposure window.
      */
-    double refreshIntervalNs = -1.0;
+    int64_t refreshIntervalNs = -1;
+
+    /**
+     * RowHammer mitigation active inside the scheduler (see the
+     * DRAMSCOPE_MITIGATIONS registry in core/protect/mitigation.h).
+     * The mitigation observes every demand ACT and each REF, and its
+     * command sequences are injected into the per-bank queues under
+     * the same FR-FCFS timing math as demand traffic — so defense
+     * cost shows up as delayed reads and lost row hits.  None keeps
+     * the scheduler byte-identical to the unmitigated one.
+     */
+    core::MitigationKind mitigation = core::MitigationKind::None;
+
+    /** Knobs of the selected mitigation. */
+    core::MitigationOptions mitigationOptions;
 };
 
 /** Row-buffer outcome and command counts of one scheduling run. */
@@ -180,6 +196,25 @@ struct ScheduleStats
     uint64_t pres = 0;
     uint64_t refs = 0;
     int64_t spanPs = 0;  //!< First-issue to end-of-program time.
+
+    /// @name Mitigation accounting (all zero when mitigation is None).
+    /// @{
+
+    /** Mitigation active during the run (gates summary/publish). */
+    core::MitigationKind mitigation = core::MitigationKind::None;
+
+    /** Command sequences the mitigation injected. */
+    uint64_t mitFired = 0;
+
+    /** ACT/PRE commands issued on behalf of the mitigation (not
+     *  counted in acts/pres/bankActs or the exposure windows). */
+    uint64_t mitCmds = 0;
+
+    /** Arrived row hits discarded because mitigation work forced the
+     *  row closed — the tracker-false-positive cost in lost hits. */
+    uint64_t mitLostRowHits = 0;
+
+    /// @}
 
     /**
      * Aggressor-row exposure: the maximum number of ACTs any single
@@ -208,7 +243,9 @@ struct ScheduleStats
     /**
      * Publishes the additive counters (mc.req.rd, mc.req.wr,
      * mc.rowhit, mc.rowmiss, mc.rowconflict, mc.act, mc.pre, mc.ref,
-     * mc.bank<b>.act, mc.bank<b>.rowhit) and the per-(row, window)
+     * mc.bank<b>.act, mc.bank<b>.rowhit — plus
+     * mc.mitigation.{fired,cmds,lost_rowhits} when a mitigation is
+     * active) and the per-(row, window)
      * exposure histogram mc.exposure.row_acts into @p m.  Everything
      * published is an exact integer add, so merged parallel-sweep
      * registries equal serial ones bit for bit.

@@ -17,14 +17,20 @@ namespace mc {
 const std::vector<SweepCell> &
 sweepPlan()
 {
-    static const std::vector<SweepCell> plan = [] {
-        std::vector<SweepCell> cells;
+    static const std::vector<SweepCell> plan =
+        sweepPlan({core::MitigationKind::None});
+    return plan;
+}
+
+std::vector<SweepCell>
+sweepPlan(const std::vector<core::MitigationKind> &mitigations)
+{
+    std::vector<SweepCell> cells;
+    for (const auto mitigation : mitigations)
         for (const auto kind : workloadTable())
             for (const auto &info : policyTable())
-                cells.push_back({kind, info.policy});
-        return cells;
-    }();
-    return plan;
+                cells.push_back({kind, info.policy, mitigation});
+    return cells;
 }
 
 std::string
@@ -36,12 +42,18 @@ runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
     WorkloadOptions wopt;
     wopt.requests = opt.requests;
     // Split by shard index, not ctx.rng: the workload must be the
-    // same bytes on every attempt and under every job count.
-    wopt.seed = hashCombine(opt.seed, ctx.shard);
+    // same bytes on every attempt and under every job count.  The
+    // index is folded modulo the workload x policy block, so every
+    // mitigation block of the grid faces identical traffic (and the
+    // leading None block keeps its historical seeds).
+    const uint64_t block =
+        uint64_t(workloadTable().size()) * policyTable().size();
+    wopt.seed = hashCombine(opt.seed, ctx.shard % block);
     const auto reqs = makeWorkload(cell.workload, cfg, wopt);
 
     SchedulerOptions sopt;
     sopt.policy = cell.policy;
+    sopt.mitigation = cell.mitigation;
     auto result = schedule(reqs, cfg, sopt);
 
     const auto report = bender::lint::lint(result.program, cfg);
@@ -50,8 +62,10 @@ runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
             std::ostringstream os;
             os << "mc shard " << ctx.shard << " ("
                << workloadId(cell.workload) << "/"
-               << policyId(cell.policy)
-               << "): scheduler emitted an out-of-spec program: "
+               << policyId(cell.policy);
+            if (cell.mitigation != core::MitigationKind::None)
+                os << "/" << core::mitigationId(cell.mitigation);
+            os << "): scheduler emitted an out-of-spec program: "
                << d.message;
             throw std::runtime_error(os.str());
         }
@@ -63,8 +77,10 @@ runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
 
     std::ostringstream os;
     os << "workload=" << workloadId(cell.workload)
-       << " policy=" << policyId(cell.policy) << " "
-       << result.stats.summary();
+       << " policy=" << policyId(cell.policy);
+    if (cell.mitigation != core::MitigationKind::None)
+        os << " mitigation=" << core::mitigationId(cell.mitigation);
+    os << " " << result.stats.summary();
     return os.str();
 }
 
@@ -72,7 +88,7 @@ core::SweepReport
 runMcSweep(core::SweepRunner &runner, const McSweepOptions &opt,
            const core::ResilienceOptions &ropts)
 {
-    const auto &plan = sweepPlan();
+    const auto plan = sweepPlan(opt.mitigations);
     return runner.runResilient(
         uint32_t(plan.size()),
         [&](core::ShardContext &ctx) {

@@ -24,11 +24,12 @@
 namespace dramscope {
 namespace mc {
 
-/** One cell of the policy x workload grid. */
+/** One cell of the mitigation x workload x policy grid. */
 struct SweepCell
 {
     WorkloadKind workload;
     RowPolicy policy;
+    core::MitigationKind mitigation = core::MitigationKind::None;
 };
 
 /**
@@ -37,11 +38,25 @@ struct SweepCell
  */
 const std::vector<SweepCell> &sweepPlan();
 
+/**
+ * The grid extended with a mitigation axis, mitigation-major: one
+ * full workload x policy block per entry of @p mitigations, in the
+ * given order.  With the default `{None}` this is exactly
+ * sweepPlan() — shard indices (and so workload seeds, journals and
+ * payload bytes) are preserved.
+ */
+std::vector<SweepCell>
+sweepPlan(const std::vector<core::MitigationKind> &mitigations);
+
 /** Knobs of the mc sweep. */
 struct McSweepOptions
 {
     size_t requests = 1000;   //!< Requests per cell.
     uint64_t seed = 0x5eedULL;  //!< Workload-generation base seed.
+
+    /** Mitigation axis of the grid (one block per entry). */
+    std::vector<core::MitigationKind> mitigations = {
+        core::MitigationKind::None};
 };
 
 /**
@@ -51,7 +66,9 @@ struct McSweepOptions
  * diagnostic — in-spec by construction is part of the contract),
  * executes it, publishes the ScheduleStats into the host's attached
  * metrics registry, and returns the payload line
- * `workload=<id> policy=<id> <stats summary>`.
+ * `workload=<id> policy=<id> <stats summary>` (with
+ * ` mitigation=<id>` inserted after the policy when the cell carries
+ * one — None cells keep the historical payload bytes).
  */
 std::string runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
                          const McSweepOptions &opt);

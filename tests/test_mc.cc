@@ -22,6 +22,7 @@
 #include "mc/workload.h"
 #include "test_common.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 
 namespace dramscope {
 namespace {
@@ -276,7 +277,7 @@ TEST(McScheduler, RefreshInsertionFollowsTheIntervalKnob)
     const auto cfg = testutil::tinyPlain();
     const auto reqs = mixedWorkload(cfg, 1500, 3);
     SchedulerOptions off;
-    off.refreshIntervalNs = 0.0;
+    off.refreshIntervalNs = 0;
     EXPECT_EQ(mc::schedule(reqs, cfg, off).stats.refs, 0u);
 
     SchedulerOptions dflt;  // < 0: the config's tREFI.
@@ -378,6 +379,168 @@ TEST(McLintCertification, EveryPolicyIsCleanOnAChip)
 }
 
 // ---------------------------------------------------------------------
+// Mitigations inside the scheduler.
+// ---------------------------------------------------------------------
+
+bool
+samePrograms(const bender::Program &a, const bender::Program &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a.instrs()[i];
+        const auto &y = b.instrs()[i];
+        if (x.op != y.op || x.bank != y.bank || x.row != y.row ||
+            x.col != y.col || x.data != y.data || x.count != y.count ||
+            x.ps != y.ps)
+            return false;
+    }
+    return true;
+}
+
+TEST(McMitigation, NoneMatchesANeverFiringMitigationByteForByte)
+{
+    // The byte-identity contract, checked from the inside: an armed
+    // mitigation whose threshold is never reached must schedule the
+    // exact same program as None — every mitigation branch in the
+    // scheduler is demand-invisible until a sequence fires.
+    const auto cfg = testutil::tinyPlain();
+    const auto reqs = mixedWorkload(cfg, 3000, 11);
+
+    const auto none = mc::schedule(reqs, cfg, {});
+    SchedulerOptions armed;
+    armed.mitigation = core::MitigationKind::Graphene;
+    armed.mitigationOptions.graphene.threshold = 1u << 30;
+    const auto inert = mc::schedule(reqs, cfg, armed);
+
+    EXPECT_TRUE(samePrograms(none.program, inert.program));
+    EXPECT_EQ(inert.stats.mitFired, 0u);
+    EXPECT_EQ(inert.stats.mitCmds, 0u);
+    EXPECT_EQ(inert.stats.mitLostRowHits, 0u);
+    EXPECT_EQ(none.stats.rowHits, inert.stats.rowHits);
+    EXPECT_EQ(none.stats.spanPs, inert.stats.spanPs);
+
+    // The None summary carries no mitigation fields at all.
+    EXPECT_EQ(none.stats.summary().find("mit-"), std::string::npos);
+    EXPECT_NE(inert.stats.summary().find("mit-fired=0"),
+              std::string::npos);
+}
+
+/**
+ * A hammer-shaped stream: per bank, two hot rows strictly ping-pong
+ * (every access a row conflict, so FR-FCFS cannot coalesce them into
+ * row hits), with every tenth access going to a 32-row warm pool.
+ * Arrivals are paced at the conflict service rate, keeping the
+ * backlog shallow — each request costs one ACT.  The 34-row footprint
+ * fits the tracker table, so no Misra-Gries spill is possible and
+ * Graphene's bound is exact: no row may collect more than `threshold`
+ * ACTs inside one refresh window.
+ */
+std::vector<Request>
+hotRowStream(const dram::DeviceConfig &cfg, size_t n)
+{
+    const AddrDecoder dec(cfg);
+    std::vector<Request> reqs;
+    reqs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t u = hashCombine(0xFEED, i);
+        const auto bank = dram::BankId(i % dec.banks());
+        const uint64_t j = i / dec.banks();
+        const auto row =
+            dram::RowAddr(j % 10 == 9 ? 200 + (u >> 8) % 32
+                                      : 50 + j % 2);
+        Request r;
+        r.addr = dec.encode(bank, row, dram::ColAddr((u >> 16) % 4));
+        r.type = (u >> 40) % 4 == 0 ? ReqType::Write : ReqType::Read;
+        r.arrivalPs = int64_t(i) * 30000;  // One conflict per 30 ns.
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+void
+expectGrapheneBoundsExposure(dram::Device &dev)
+{
+    bender::Host host(dev);
+    const auto &cfg = host.config();
+    const auto reqs = hotRowStream(cfg, 20000);
+    const uint64_t threshold = 50;
+
+    SchedulerOptions opt;
+    // The closed policy issues one ACT per request (the open policy
+    // would wait for future hits and coalesce the ping-pong), and the
+    // stretched refresh window (4x tREFI) lets an unmitigated hot row
+    // collect a few hundred ACTs per window — far over the bound.
+    opt.policy = RowPolicy::Closed;
+    opt.refreshIntervalNs = 31200;
+    const auto bare = mc::schedule(reqs, cfg, opt);
+    opt.mitigation = core::MitigationKind::Graphene;
+    opt.mitigationOptions.graphene.threshold = threshold;
+    const auto defended = mc::schedule(reqs, cfg, opt);
+
+    // The unmitigated stream blows through the threshold; the
+    // defended one is capped at it (exact: the footprint fits the
+    // table, so Misra-Gries never spills).
+    EXPECT_GT(bare.stats.maxRowActsPerRefWindow, threshold);
+    EXPECT_LE(defended.stats.maxRowActsPerRefWindow, threshold);
+    EXPECT_GT(defended.stats.mitFired, 0u);
+    EXPECT_EQ(defended.stats.mitCmds, 2 * 2 * defended.stats.mitFired);
+
+    // Injected sequences keep the program in-spec and runnable.
+    const auto report = bender::lint::lint(defended.program, cfg);
+    for (const auto &d : report.diags)
+        EXPECT_TRUE(d.expected) << d.message;
+    const auto before = dev.violationCount();
+    host.run(defended.program);
+    EXPECT_EQ(dev.violationCount(), before);
+}
+
+TEST(McMitigation, GrapheneBoundsExposureOnAChip)
+{
+    dram::Chip chip(testutil::tinyPlain());
+    expectGrapheneBoundsExposure(chip);
+}
+
+TEST(McMitigation, GrapheneBoundsExposureOnADimm)
+{
+    mapping::Dimm dimm(testutil::tinyPlain());
+    expectGrapheneBoundsExposure(dimm);
+}
+
+TEST(McMitigation, GrapheneBoundsExposureOnAnHbmChannel)
+{
+    dram::HbmStack stack(testutil::tinyPlain(), 2);
+    expectGrapheneBoundsExposure(stack.channel(1));
+}
+
+TEST(McMitigation, EveryKindSchedulesInSpecAndAccountsItsCommands)
+{
+    const auto cfg = testutil::tinyPlain();
+    const auto reqs = hotRowStream(cfg, 20000);
+    for (const auto &info : core::mitigationTable()) {
+        SchedulerOptions opt;
+        opt.policy = RowPolicy::Closed;
+        opt.refreshIntervalNs = 31200;
+        opt.mitigation = info.kind;
+        opt.mitigationOptions.graphene.threshold = 50;
+        opt.mitigationOptions.raaimt = 200;
+        opt.mitigationOptions.drfmInterval = 300;
+        opt.mitigationOptions.rowswap.threshold = 400;
+        const auto res = mc::schedule(reqs, cfg, opt);
+        const auto report = bender::lint::lint(res.program, cfg);
+        for (const auto &d : report.diags)
+            EXPECT_TRUE(d.expected) << info.id << ": " << d.message;
+        EXPECT_EQ(res.stats.served(), reqs.size()) << info.id;
+        if (info.kind == core::MitigationKind::None) {
+            EXPECT_EQ(res.stats.mitFired, 0u);
+        } else {
+            EXPECT_GT(res.stats.mitFired, 0u) << info.id;
+            EXPECT_GT(res.stats.mitCmds, 0u) << info.id;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The policy x workload sweep: serial == parallel, bit for bit.
 // ---------------------------------------------------------------------
 
@@ -406,6 +569,43 @@ TEST(McSweep, SerialAndParallelAgreeBitForBit)
     ASSERT_EQ(serial.first.size(), mc::sweepPlan().size());
     EXPECT_NE(serial.first[0].find("workload=streaming policy=open"),
               std::string::npos);
+}
+
+TEST(McSweep, MitigationAxisKeepsNoneBytesAndAgreesInParallel)
+{
+    mc::McSweepOptions base;
+    base.requests = 200;
+
+    const auto runAll = [&](const mc::McSweepOptions &opt,
+                            unsigned jobs) {
+        dram::Chip chip(testutil::tinyPlain());
+        bender::Host host(chip);
+        core::SweepRunner runner(host, core::SweepOptions(jobs, 42));
+        const auto report = mc::runMcSweep(runner, opt);
+        EXPECT_TRUE(report.complete());
+        return report.payloads();
+    };
+
+    mc::McSweepOptions axis = base;
+    for (const auto &info : core::mitigationTable())
+        if (info.kind != core::MitigationKind::None)
+            axis.mitigations.push_back(info.kind);
+
+    const auto serial = runAll(axis, 1);
+    const auto parallel = runAll(axis, 4);
+    EXPECT_EQ(serial, parallel);
+
+    // The leading None block is byte-identical to the axis-free grid,
+    // and every later block faces the same traffic (same block-folded
+    // workload seeds), tagged with its mitigation id.
+    const auto plain = runAll(base, 1);
+    const size_t block = plain.size();
+    ASSERT_EQ(serial.size(), block * core::mitigationTable().size());
+    for (size_t i = 0; i < block; ++i)
+        EXPECT_EQ(serial[i], plain[i]) << i;
+    EXPECT_NE(serial[block].find(" mitigation=graphene "),
+              std::string::npos)
+        << serial[block];
 }
 
 } // namespace

@@ -95,6 +95,89 @@ TEST(Tracker, ResetClearsState)
     EXPECT_TRUE(t.onActivate(4, 99).empty());
 }
 
+TEST(Tracker, CoupledCanonicalHoldsAtTheBankEdges)
+{
+    // Row 0's partner is the distance itself, and the last row folds
+    // onto distance - 1: the canonical representative (the smaller of
+    // the pair) must absorb both halves of a split attack at either
+    // edge of the bank.
+    TrackerOptions opts;
+    opts.threshold = 1000;
+    opts.coupledAware = true;
+    opts.coupledDistance = 512;
+
+    ActivationTracker low(opts);
+    EXPECT_TRUE(low.onActivate(0, 500).empty());
+    const auto firedLow = low.onActivate(512, 500);
+    ASSERT_EQ(firedLow.size(), 2u);
+    EXPECT_EQ(firedLow[0], RowAddr(0));
+    EXPECT_EQ(firedLow[1], RowAddr(512));
+
+    ActivationTracker high(opts);
+    EXPECT_TRUE(high.onActivate(1023, 500).empty());
+    const auto firedHigh = high.onActivate(511, 500);
+    ASSERT_EQ(firedHigh.size(), 2u);
+    EXPECT_EQ(firedHigh[0], RowAddr(511));
+    EXPECT_EQ(firedHigh[1], RowAddr(1023));
+}
+
+TEST(Tracker, SpilledTiesNeverFireButTrackedTiesDo)
+{
+    // Misra-Gries under a table full of equal counters: newcomers
+    // spill (raising the floor) instead of evicting an arbitrary tie,
+    // so no spilled row can fire spuriously — while every tracked tie
+    // still fires exactly at its threshold.
+    TrackerOptions opts;
+    opts.tableSize = 4;
+    opts.threshold = 100;
+    ActivationTracker t(opts);
+    for (RowAddr r = 1; r <= 4; ++r)
+        t.onActivate(r, 50);  // Four tracked ties at 50.
+    for (RowAddr r = 10; r <= 13; ++r)
+        EXPECT_TRUE(t.onActivate(r, 40).empty());  // All spill.
+    EXPECT_EQ(t.mitigations(), 0u);
+
+    // The tracked ties are still intact and fire at the threshold.
+    for (RowAddr r = 1; r <= 4; ++r) {
+        const auto fired = t.onActivate(r, 50);
+        ASSERT_EQ(fired.size(), 1u) << r;
+        EXPECT_EQ(fired[0], r);
+    }
+    EXPECT_EQ(t.mitigations(), 4u);
+
+    // reset() clears the spill floor too, not just the counters.
+    t.reset();
+    t.onActivate(20, 99);
+    EXPECT_TRUE(t.onActivate(20, 0).empty());
+    EXPECT_FALSE(t.onActivate(20, 1).empty());
+}
+
+TEST(ProtectedMemory, MitigationProgramClampsAtTheBankEdges)
+{
+    // Victim refresh at row 0 has no row -1, and at the last row no
+    // row +1: the program holds exactly one ACT..PRE cycle.
+    const auto cfg = testutil::tinyPlain();
+    const auto countActs = [](const bender::Program &p) {
+        size_t acts = 0;
+        for (const auto &in : p.instrs())
+            acts += in.op == bender::Opcode::Act ? 1 : 0;
+        return acts;
+    };
+    const auto lo = core::ProtectedMemory::makeMitigationProgram(cfg, 0, 0);
+    EXPECT_EQ(countActs(lo), 1u);
+    ASSERT_GE(lo.size(), 1u);
+    EXPECT_EQ(lo.instrs()[0].row, RowAddr(1));
+
+    const RowAddr last = cfg.rowsPerBank - 1;
+    const auto hi =
+        core::ProtectedMemory::makeMitigationProgram(cfg, 0, last);
+    EXPECT_EQ(countActs(hi), 1u);
+    EXPECT_EQ(hi.instrs()[0].row, last - 1);
+
+    const auto mid = core::ProtectedMemory::makeMitigationProgram(cfg, 0, 9);
+    EXPECT_EQ(countActs(mid), 2u);
+}
+
 class CoupledAttackTest : public ::testing::Test
 {
   protected:

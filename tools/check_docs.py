@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checks (CI `docs` job).
 
-Seven checks:
+Eight checks:
 
 1. Relative markdown links in README.md, EXPERIMENTS.md, DESIGN.md and
    docs/*.md must point at files that exist.
@@ -18,10 +18,15 @@ Seven checks:
 5. The ``DRAMSCOPE_FASTPATH`` mode table in README.md must list
    exactly the modes registered in the ``DRAMSCOPE_FASTPATH_MODES``
    X-macro of src/dram/device.h, in registry order.
-6. The open-row policy table in docs/MC.md must list exactly the
-   policies registered in the ``DRAMSCOPE_MC_POLICIES`` X-macro of
-   src/mc/mc.h, in registry order, with matching knob strings.
-7. README.md's subsystem documentation index must link every file
+6. The open-row policy table in docs/MC.md ("Open-row policies"
+   section) must list exactly the policies registered in the
+   ``DRAMSCOPE_MC_POLICIES`` X-macro of src/mc/mc.h, in registry
+   order, with matching knob strings.
+7. The mitigation table in docs/MC.md ("Mitigations" section) must
+   list exactly the defenses registered in the
+   ``DRAMSCOPE_MITIGATIONS`` X-macro of src/core/protect/mitigation.h,
+   in registry order, with matching knob strings.
+8. README.md's subsystem documentation index must link every file
    under docs/ (no undocumented doc can be added silently).
 
 Exits non-zero with one line per problem.
@@ -68,6 +73,7 @@ POLICY_ENTRY_RE = re.compile(
 # One policy-table row: | `keyword` | `knobs` | description |
 POLICY_ROW_RE = re.compile(
     r"^\|\s*`([a-z]+)`\s*\|\s*`([^`]+)`\s*\|\s*(.+?)\s*\|\s*$")
+MITIGATION_HEADER = "src/core/protect/mitigation.h"
 
 
 def check_links(md_path: Path, errors: list) -> None:
@@ -362,43 +368,103 @@ def registered_mc_policies(errors: list) -> list:
     return policies
 
 
-def check_mc_policies(errors: list) -> None:
-    """docs/MC.md's policy table vs the DRAMSCOPE_MC_POLICIES macro."""
-    policies = registered_mc_policies(errors)
+def mc_doc_table_rows(section: str, errors: list) -> list:
+    """(keyword, knobs, desc) rows from one ``## <section>`` of MC.md.
+
+    Both the policy and the mitigation table share the
+    | `keyword` | `knobs` | description | shape, so each check must
+    only see the rows of its own section.
+    """
     doc_path = REPO / MC_DOC
     if not doc_path.exists():
         errors.append(f"{MC_DOC}: missing")
-        return
-
-    documented = []
+        return []
+    rows = []
+    in_section = False
     for line in doc_path.read_text(encoding="utf-8").splitlines():
-        m = POLICY_ROW_RE.match(line.strip())
-        if not m:
+        if line.strip() == f"## {section}":
+            in_section = True
             continue
-        keyword, knobs, desc = m.group(1), m.group(2), m.group(3)
-        documented.append((keyword, knobs))
-        if not desc.strip():
-            errors.append(f"{MC_DOC}: {keyword}: empty description")
+        if in_section and line.startswith("## "):
+            break
+        if not in_section:
+            continue
+        m = POLICY_ROW_RE.match(line.strip())
+        if m:
+            rows.append((m.group(1), m.group(2), m.group(3)))
+    if not in_section:
+        errors.append(f"{MC_DOC}: no '## {section}' section")
+    return rows
 
+
+def check_registry_table(doc_rows: list, registered: list, noun: str,
+                         header: str, errors: list) -> None:
+    """Shared id/knob/order comparison for the MC.md X-macro tables."""
+    documented = [(kw, knobs) for kw, knobs, desc in doc_rows]
+    for kw, knobs, desc in doc_rows:
+        if not desc.strip():
+            errors.append(f"{MC_DOC}: {kw}: empty description")
     doc_ids = {kw for kw, _ in documented}
-    reg_ids = {kw for kw, _ in policies}
-    for kw, _ in policies:
+    reg_ids = {kw for kw, _ in registered}
+    for kw, _ in registered:
         if kw not in doc_ids:
-            errors.append(f"{MC_DOC}: registered policy '{kw}' has no "
+            errors.append(f"{MC_DOC}: registered {noun} '{kw}' has no "
                           f"table row")
     for kw, _ in documented:
         if kw not in reg_ids:
-            errors.append(f"{MC_DOC}: documents unknown policy '{kw}' "
-                          f"(not in {MC_HEADER})")
+            errors.append(f"{MC_DOC}: documents unknown {noun} '{kw}' "
+                          f"(not in {header})")
     doc_knobs = dict(documented)
-    for kw, knobs in policies:
+    for kw, knobs in registered:
         if kw in doc_knobs and doc_knobs[kw] != knobs:
             errors.append(f"{MC_DOC}: {kw}: documented knobs "
                           f"'{doc_knobs[kw]}' != registered '{knobs}'")
     if doc_ids == reg_ids and \
-            [k for k, _ in documented] != [k for k, _ in policies]:
-        errors.append(f"{MC_DOC}: policy table rows are not in "
+            [k for k, _ in documented] != [k for k, _ in registered]:
+        errors.append(f"{MC_DOC}: {noun} table rows are not in "
                       f"registry order")
+
+
+def check_mc_policies(errors: list) -> None:
+    """docs/MC.md's policy table vs the DRAMSCOPE_MC_POLICIES macro."""
+    policies = registered_mc_policies(errors)
+    rows = mc_doc_table_rows("Open-row policies", errors)
+    check_registry_table(rows, policies, "policy", MC_HEADER, errors)
+
+
+def registered_mitigations(errors: list) -> list:
+    """(keyword, knobs) pairs from the X-macro, registry order."""
+    header = REPO / MITIGATION_HEADER
+    if not header.exists():
+        errors.append(f"{MITIGATION_HEADER}: missing")
+        return []
+    text = header.read_text(encoding="utf-8")
+    marker = "#define DRAMSCOPE_MITIGATIONS(X)"
+    start = text.find(marker)
+    if start < 0:
+        errors.append(f"{MITIGATION_HEADER}: DRAMSCOPE_MITIGATIONS "
+                      f"macro not found")
+        return []
+    body_lines = []
+    for line in text[start + len(marker):].splitlines()[1:]:
+        body_lines.append(line)
+        if not line.rstrip().endswith("\\"):
+            break
+    # Same X(Enumerator, "id", "knobs", "summary") shape as policies.
+    mitigations = [(kw, knobs) for _, kw, knobs
+                   in POLICY_ENTRY_RE.findall("\n".join(body_lines))]
+    if not mitigations:
+        errors.append(f"{MITIGATION_HEADER}: no X(...) entries parsed "
+                      f"from DRAMSCOPE_MITIGATIONS")
+    return mitigations
+
+
+def check_mitigations(errors: list) -> None:
+    """docs/MC.md's mitigation table vs DRAMSCOPE_MITIGATIONS."""
+    mitigations = registered_mitigations(errors)
+    rows = mc_doc_table_rows("Mitigations", errors)
+    check_registry_table(rows, mitigations, "mitigation",
+                         MITIGATION_HEADER, errors)
 
 
 def check_readme_doc_index(errors: list) -> None:
@@ -429,6 +495,7 @@ def main() -> int:
     check_fault_clauses(errors)
     check_fastpath_modes(errors)
     check_mc_policies(errors)
+    check_mitigations(errors)
     check_readme_doc_index(errors)
 
     if errors:
@@ -437,8 +504,9 @@ def main() -> int:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all links resolve, O1..O14 all mapped and "
-          "tagged, lint rule, fault clause, fast-path mode and mc "
-          "policy tables in sync, README indexes every docs/ file")
+          "tagged, lint rule, fault clause, fast-path mode, mc policy "
+          "and mitigation tables in sync, README indexes every docs/ "
+          "file")
     return 0
 
 

@@ -45,10 +45,13 @@
  * resume semantics.
  *
  * `mc` accepts `--workload=streaming|chase|zipfian`,
- * `--policy=open|closed|timeout|cap`, `--reqs=N`, `--seed=S`,
+ * `--policy=open|closed|timeout|cap`,
+ * `--mitigation=none|graphene|rfm|drfm|rowswap`,
+ * `--refresh-interval-ns=T`, `--reqs=N`, `--seed=S`,
  * `--trace=FILE` (replay a JSONL *address* trace instead of a
  * generator) and `--dump-trace=FILE` (record the generated stream);
- * `mcsweep` accepts `--reqs=N`.  See docs/MC.md.
+ * `mcsweep` accepts `--reqs=N` and `--mitigation=<kind>|all` (a
+ * mitigation axis on the grid).  See docs/MC.md.
  *
  * Exit codes: 0 success; 1 a run that executed but failed (lint
  * errors, metrics mismatch, quarantined shards, failed AIB
@@ -99,6 +102,8 @@ struct Flags
     std::string checkpoint;  //!< --checkpoint=FILE (shard journal).
     std::string workload;    //!< --workload=streaming|chase|zipfian.
     std::string policy;      //!< --policy=open|closed|timeout|cap.
+    std::string mitigation;  //!< --mitigation=none|graphene|rfm|drfm|
+                             //!< rowswap (mcsweep also accepts "all").
     std::string dumpTrace;   //!< --dump-trace=FILE (address trace out).
     bool resume = false;     //!< --resume (skip journaled shards).
     unsigned jobs = 0;       //!< --jobs=N (0 = DRAMSCOPE_JOBS / hw).
@@ -106,6 +111,9 @@ struct Flags
     uint32_t retries = 3;    //!< --retries=K (attempts per shard).
     uint64_t timeoutMs = 0;  //!< --timeout-ms=T (shard watchdog).
     uint64_t reqs = 1000;    //!< --reqs=N (mc requests).
+
+    /** --refresh-interval-ns=T: whole ns; <0 = config tREFI, 0 = off. */
+    int64_t refreshIntervalNs = -1;
 };
 
 /**
@@ -126,6 +134,25 @@ parseU64OrExit(const std::string &arg, const char *what)
         std::exit(2);
     }
     return uint64_t(v);
+}
+
+/**
+ * Parses a strictly signed decimal argument (same contract as
+ * parseU64OrExit, with a leading '-' allowed).
+ */
+int64_t
+parseI64OrExit(const std::string &arg, const char *what)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || errno != 0) {
+        std::fprintf(stderr,
+                     "error: bad %s '%s' (expected an integer)\n",
+                     what, arg.c_str());
+        std::exit(2);
+    }
+    return int64_t(v);
 }
 
 /**
@@ -265,10 +292,14 @@ usage()
         "--timeout-ms=T --checkpoint=FILE --resume\n"
         "mc accepts --workload=streaming|chase|zipfian "
         "--policy=open|closed|timeout|cap --reqs=N --seed=S\n"
+        "  --mitigation=none|graphene|rfm|drfm|rowswap "
+        "--refresh-interval-ns=T (<0 config tREFI, 0 off)\n"
         "  --trace=FILE (replay a JSONL address trace) "
         "--dump-trace=FILE (record the stream); mcsweep accepts "
         "--reqs=N\n"
-        "see docs/MC.md for the policy table\n");
+        "  and --mitigation=<kind>|all (adds a mitigation axis to the "
+        "grid)\n"
+        "see docs/MC.md for the policy and mitigation tables\n");
     return 2;
 }
 
@@ -729,6 +760,16 @@ cmdMc(const std::string &preset, const Flags &flags)
                      pol_id.c_str());
         return 2;
     }
+    const std::string mit_id =
+        flags.mitigation.empty() ? "none" : flags.mitigation;
+    const auto mitigation = core::mitigationFromString(mit_id);
+    if (!mitigation) {
+        std::fprintf(stderr,
+                     "error: unknown --mitigation '%s' for mc "
+                     "(none|graphene|rfm|drfm|rowswap)\n",
+                     mit_id.c_str());
+        return 2;
+    }
 
     std::vector<mc::Request> reqs;
     try {
@@ -749,6 +790,8 @@ cmdMc(const std::string &preset, const Flags &flags)
 
     mc::SchedulerOptions sopt;
     sopt.policy = *policy;
+    sopt.mitigation = *mitigation;
+    sopt.refreshIntervalNs = flags.refreshIntervalNs;
     const auto result = mc::schedule(reqs, cfg, sopt);
 
     const auto lint_report = bender::lint::lint(result.program, cfg);
@@ -772,10 +815,19 @@ cmdMc(const std::string &preset, const Flags &flags)
     }
 
     const auto &st = result.stats;
-    std::printf("mc %s workload=%s policy=%s %s\n", preset.c_str(),
+    // The mitigation field appears only when one is active, so
+    // `--mitigation=none` output stays byte-identical to the
+    // pre-mitigation CLI.
+    std::string mit_field;
+    if (*mitigation != core::MitigationKind::None)
+        mit_field =
+            std::string("mitigation=") + core::mitigationId(*mitigation) +
+            " ";
+    std::printf("mc %s workload=%s policy=%s %s%s\n", preset.c_str(),
                 flags.trace.empty() ? mc::workloadId(*workload)
                                     : "trace",
-                mc::policyId(*policy), st.summary().c_str());
+                mc::policyId(*policy), mit_field.c_str(),
+                st.summary().c_str());
     Table t({"Bank", "ACTs", "Hits", "Misses", "Conflicts"});
     for (size_t b = 0; b < st.bankActs.size(); ++b) {
         t.addRow({Table::num(uint64_t(b)), Table::num(st.bankActs[b]),
@@ -807,6 +859,28 @@ cmdMcSweep(const std::string &preset, const Flags &flags)
 {
     const auto cfg = dram::makePreset(preset);
     const auto faults = parseFaultsOrExit(flags.faults);
+
+    // The mitigation axis: one workload x policy block per kind.
+    // "all" sweeps the full registry (None first, so the leading
+    // block stays byte-identical to the unmitigated sweep).
+    std::vector<core::MitigationKind> mitigations = {
+        core::MitigationKind::None};
+    if (flags.mitigation == "all") {
+        mitigations.clear();
+        for (const auto &info : core::mitigationTable())
+            mitigations.push_back(info.kind);
+    } else if (!flags.mitigation.empty()) {
+        const auto kind = core::mitigationFromString(flags.mitigation);
+        if (!kind) {
+            std::fprintf(stderr,
+                         "error: unknown --mitigation '%s' for mcsweep "
+                         "(none|graphene|rfm|drfm|rowswap|all)\n",
+                         flags.mitigation.c_str());
+            return 2;
+        }
+        mitigations = {*kind};
+    }
+
     if (!flags.device.empty() && flags.device != "chip" &&
         flags.device != "dimm") {
         // HBM channels are borrowed from a stack, which does not fit
@@ -848,10 +922,15 @@ cmdMcSweep(const std::string &preset, const Flags &flags)
     ropts.resume = flags.resume;
     ropts.tag = "mc/" + preset + "/" + flags.device + "/r" +
                 std::to_string(flags.reqs) + "/" + faults.toString();
+    // Only non-default axes change the tag, so pre-mitigation
+    // journals keep resuming.
+    if (!flags.mitigation.empty() && flags.mitigation != "none")
+        ropts.tag += "/mit=" + flags.mitigation;
 
     mc::McSweepOptions mopt;
     mopt.requests = flags.reqs;
     mopt.seed = flags.seed;
+    mopt.mitigations = mitigations;
 
     core::SweepReport report;
     try {
@@ -945,10 +1024,15 @@ main(int argc, char **argv)
             flags.workload = arg.substr(11);
         else if (arg.rfind("--policy=", 0) == 0)
             flags.policy = arg.substr(9);
+        else if (arg.rfind("--mitigation=", 0) == 0)
+            flags.mitigation = arg.substr(13);
         else if (arg.rfind("--dump-trace=", 0) == 0)
             flags.dumpTrace = arg.substr(13);
         else if (arg.rfind("--reqs=", 0) == 0)
             flags.reqs = parseU64OrExit(arg.substr(7), "--reqs");
+        else if (arg.rfind("--refresh-interval-ns=", 0) == 0)
+            flags.refreshIntervalNs =
+                parseI64OrExit(arg.substr(22), "--refresh-interval-ns");
         else {
             if (subcommand.empty()) {
                 std::fprintf(stderr, "error: unknown flag '%s'\n",
