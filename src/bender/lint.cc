@@ -8,11 +8,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "util/log.h"
 
@@ -50,6 +53,13 @@ const char *
 ruleId(Rule rule)
 {
     return ruleInfo(rule).id;
+}
+
+bool
+certifyOnlyRule(Rule rule)
+{
+    return rule == Rule::ExposureBound || rule == Rule::PowerWindow ||
+           rule == Rule::EnergyEstimate;
 }
 
 const char *
@@ -109,9 +119,9 @@ class Interp
 {
   public:
     Interp(const Program &prog, const dram::DeviceConfig &cfg,
-           Report &report)
+           Report &report, Certificate *cert = nullptr)
         : instrs_(prog.instrs()), cfg_(cfg),
-          report_(report), tck_ps_(ps(cfg.timing.tCkNs)),
+          report_(report), cert_(cert), tck_ps_(ps(cfg.timing.tCkNs)),
           trcd_ps_(ps(cfg.timing.tRcdNs)), tras_ps_(ps(cfg.timing.tRasNs)),
           trp_ps_(ps(cfg.timing.tRpNs)), trc_ps_(ps(cfg.timing.tRcNs())),
           trrd_ps_(ps(cfg.timing.tRrdNs)), tfaw_ps_(ps(cfg.timing.tFawNs)),
@@ -121,6 +131,10 @@ class Interp
         // the same (rule, slot) twice.
         for (const auto &d : report_.diags)
             seen_.insert({uint8_t(d.rule), d.slot});
+        if (cert_ != nullptr) {
+            window_ps_ = std::max<int64_t>(ps(cert_->powerWindowNs), 1);
+            background_mw_ = cfg.energy.backgroundMw;
+        }
     }
 
     void
@@ -130,6 +144,8 @@ class Interp
         report_.durationPs = clock_ps_;
         finishOpenAtEnd();
         finishRefreshBudget();
+        if (cert_ != nullptr)
+            finishCertificate();
     }
 
   private:
@@ -163,6 +179,56 @@ class Interp
             return;
         report_.diags.push_back({rule, ruleInfo(rule).severity, slot,
                                  false, clock_ps_, std::move(msg)});
+    }
+
+    /** Key of the per-(bank, row) symbolic activation counter. */
+    static uint64_t
+    rowKey(dram::BankId bank, dram::RowAddr row)
+    {
+        return (uint64_t(bank) << 32) | uint64_t(row);
+    }
+
+    /** Effect analysis: one more ACT lands on (bank, row). */
+    void
+    trackAct(const Instr &ins, size_t slot)
+    {
+        if (cert_ == nullptr)
+            return;
+        const uint64_t key = rowKey(ins.bank, ins.row);
+        const uint64_t n = ++row_acts_[key];
+        row_act_slot_[key] = slot;
+        if (n > max_row_acts_) {
+            max_row_acts_ = n;
+            max_key_ = key;
+            max_slot_ = slot;
+        }
+    }
+
+    /**
+     * Effect analysis: a command costing @p pj issues at the current
+     * clock.  Maintains the rolling power window (the energy
+     * generalization of the four-ACT tFAW deque) and its peak.
+     */
+    void
+    trackEnergy(size_t slot, double pj)
+    {
+        if (cert_ == nullptr)
+            return;
+        cmd_energy_pj_ += pj;
+        const int64_t t = clock_ps_;
+        pwr_.emplace_back(t, pj);
+        pwr_sum_pj_ += pj;
+        while (!pwr_.empty() && pwr_.front().first <= t - window_ps_) {
+            pwr_sum_pj_ -= pwr_.front().second;
+            pwr_.pop_front();
+        }
+        // pJ/ps is W, so the window average in mW is 1000 * sum/len.
+        const double mw =
+            1000.0 * pwr_sum_pj_ / double(window_ps_) + background_mw_;
+        if (mw > peak_window_mw_) {
+            peak_window_mw_ = mw;
+            peak_slot_ = slot;
+        }
     }
 
     void
@@ -258,6 +324,14 @@ class Interp
             }
         }
         ++report_.refCount;
+        // Refresh-window segmentation: REF restores every row, so the
+        // per-row exposure counters start over (the running max is
+        // the bound across windows).  Matches the scheduler's dynamic
+        // mc.exposure accounting, which closes all windows at REF.
+        if (cert_ != nullptr) {
+            row_acts_.clear();
+            row_act_slot_.clear();
+        }
     }
 
     /**
@@ -266,10 +340,20 @@ class Interp
      * @p iter_cmds commands and @p iter_refs REFs each.  Timestamps
      * written at or after @p loop_start_ps belong to the loop and
      * shift with the clock; older ones are absolute and stay.
+     *
+     * In certify mode @p iter_pj is the body's constant per-iteration
+     * command energy and @p acts0 snapshots the per-row counters from
+     * just before the last simulated iteration: REF-free bodies fold
+     * exactly by per-key delta multiplication, while bodies with REFs
+     * leave the steady-state counters as-is (every window pattern was
+     * covered by the simulated iterations, so the running max is
+     * already the bound) and drop the exactness claim.
      */
     void
     fastForward(uint64_t skipped, int64_t iter_ps, uint64_t iter_cmds,
-                uint64_t iter_refs, int64_t loop_start_ps)
+                uint64_t iter_refs, int64_t loop_start_ps,
+                double iter_pj,
+                const std::map<uint64_t, uint64_t> &acts0)
     {
         const int64_t shift = int64_t(skipped) * iter_ps;
         const auto shifted = [&](int64_t ts) {
@@ -288,6 +372,29 @@ class Interp
             last_act_any_ps_ = shifted(last_act_any_ps_);
         for (auto &ts : faw_)
             ts = shifted(ts);
+        if (cert_ == nullptr)
+            return;
+        cmd_energy_pj_ += double(skipped) * iter_pj;
+        for (auto &ev : pwr_)
+            ev.first = shifted(ev.first);
+        if (iter_refs == 0) {
+            for (auto &kv : row_acts_) {
+                const auto it0 = acts0.find(kv.first);
+                const uint64_t before =
+                    it0 == acts0.end() ? 0 : it0->second;
+                const uint64_t delta = kv.second - before;
+                if (delta == 0)
+                    continue;
+                kv.second += delta * skipped;
+                if (kv.second > max_row_acts_) {
+                    max_row_acts_ = kv.second;
+                    max_key_ = kv.first;
+                    max_slot_ = row_act_slot_[kv.first];
+                }
+            }
+        } else {
+            exact_ = false;
+        }
     }
 
     /** Interprets slots [begin, end) once. */
@@ -300,30 +407,36 @@ class Interp
             switch (ins.op) {
               case Opcode::Act:
                 onAct(ins, i);
+                trackAct(ins, i);
+                trackEnergy(i, cfg_.energy.eActPj);
                 ++report_.commandCount;
                 clock_ps_ += tck_ps_;
                 ++i;
                 break;
               case Opcode::Pre:
                 onPre(ins, i);
+                trackEnergy(i, cfg_.energy.ePrePj);
                 ++report_.commandCount;
                 clock_ps_ += tck_ps_;
                 ++i;
                 break;
               case Opcode::Rd:
                 onRw(ins, i, "RD");
+                trackEnergy(i, cfg_.energy.eRdPj);
                 ++report_.commandCount;
                 clock_ps_ += tck_ps_;
                 ++i;
                 break;
               case Opcode::Wr:
                 onRw(ins, i, "WR");
+                trackEnergy(i, cfg_.energy.eWrPj);
                 ++report_.commandCount;
                 clock_ps_ += tck_ps_;
                 ++i;
                 break;
               case Opcode::Ref:
                 onRef(i);
+                trackEnergy(i, cfg_.energy.eRefPj);
                 ++report_.commandCount;
                 clock_ps_ += tck_ps_;
                 ++i;
@@ -353,22 +466,42 @@ class Interp
                 panicIf(depth != 0, "lint: unbalanced loop in walk");
 
                 const int64_t loop_start_ps = clock_ps_;
-                const uint64_t sim = std::min(ins.count, kSimIters);
+                uint64_t sim = std::min(ins.count, kSimIters);
                 int64_t iter_ps = 0;
                 uint64_t iter_cmds = 0;
                 uint64_t iter_refs = 0;
+                double iter_pj = 0.0;
+                std::map<uint64_t, uint64_t> acts0;
                 for (uint64_t k = 0; k < sim; ++k) {
+                    if (cert_ != nullptr && k + 1 == sim)
+                        acts0 = row_acts_;
                     const int64_t t0 = clock_ps_;
                     const uint64_t c0 = report_.commandCount;
                     const uint64_t r0 = report_.refCount;
+                    const double e0 = cmd_energy_pj_;
                     walk(i + 1, body_end);
                     iter_ps = clock_ps_ - t0;
                     iter_cmds = report_.commandCount - c0;
                     iter_refs = report_.refCount - r0;
+                    iter_pj = cmd_energy_pj_ - e0;
+                    // Certify mode must see every rolling power
+                    // window the real run would: when the body is
+                    // shorter than the window, simulate enough extra
+                    // iterations for one window to fill before fast-
+                    // forwarding (duration is constant by ISA, so the
+                    // coverage count is known after one iteration).
+                    if (cert_ != nullptr && k == 0 &&
+                        ins.count > sim && iter_ps > 0) {
+                        const uint64_t cover =
+                            uint64_t(window_ps_ / iter_ps) + 2;
+                        if (cover > sim)
+                            sim = std::min(ins.count, cover);
+                    }
                 }
                 if (ins.count > sim) {
                     fastForward(ins.count - sim, iter_ps, iter_cmds,
-                                iter_refs, loop_start_ps);
+                                iter_refs, loop_start_ps, iter_pj,
+                                acts0);
                 }
                 i = body_end + 1;
                 break;
@@ -412,9 +545,51 @@ class Interp
                  " needed to keep every row refreshed");
     }
 
+    /** Fills in the certificate and raises the certify-only rules. */
+    void
+    finishCertificate()
+    {
+        Certificate &c = *cert_;
+        c.maxRowActs = max_row_acts_;
+        c.hottestBank = dram::BankId(max_key_ >> 32);
+        c.hottestRow = dram::RowAddr(max_key_ & 0xffffffffULL);
+        c.exact = exact_;
+        c.commandEnergyPj = cmd_energy_pj_;
+        // mW over ps: 1 mW = 1e-3 pJ/ps.
+        c.backgroundEnergyPj =
+            background_mw_ * double(report_.durationPs) * 1.0e-3;
+        c.avgPowerMw =
+            report_.durationPs > 0
+                ? 1000.0 * c.totalEnergyPj() / double(report_.durationPs)
+                : background_mw_;
+        c.peakWindowPowerMw = std::max(peak_window_mw_, background_mw_);
+        if (max_row_acts_ > c.exposureThreshold) {
+            diag(Rule::ExposureBound, max_slot_,
+                 "proven bound of " + std::to_string(max_row_acts_) +
+                     " ACTs to bank " + std::to_string(c.hottestBank) +
+                     " row " + std::to_string(c.hottestRow) +
+                     " in one refresh window exceeds the RowHammer "
+                     "threshold of " +
+                     std::to_string(c.exposureThreshold) +
+                     (exact_ ? " (bound is exact)"
+                             : " (bound is conservative)"));
+        }
+        if (c.peakWindowPowerMw > c.powerBudgetMw) {
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "peak rolling-window power %.2f mW over %.0f ns "
+                          "exceeds the %.2f mW budget",
+                          c.peakWindowPowerMw, c.powerWindowNs,
+                          c.powerBudgetMw);
+            diag(Rule::PowerWindow, peak_slot_, buf);
+        }
+        diag(Rule::EnergyEstimate, 0, c.summary());
+    }
+
     const std::vector<Instr> &instrs_;
     const dram::DeviceConfig &cfg_;
     Report &report_;
+    Certificate *cert_;  //!< Effect analysis on when non-null.
 
     const int64_t tck_ps_, trcd_ps_, tras_ps_, trp_ps_, trc_ps_;
     const int64_t trrd_ps_, tfaw_ps_;
@@ -424,16 +599,49 @@ class Interp
     int64_t last_act_any_ps_ = -1;
     std::deque<int64_t> faw_;  //!< Issue times of the last 4 ACTs.
     std::set<std::pair<uint8_t, size_t>> seen_;
+
+    /// @name Effect analysis (certify mode only).
+    /// @{
+    int64_t window_ps_ = 1;    //!< Rolling power-window length.
+    double background_mw_ = 0.0;
+    /** Symbolic per-(bank, row) ACTs since the last REF (std::map:
+     *  iterated when fast-forwarding, so the order must be stable). */
+    std::map<uint64_t, uint64_t> row_acts_;
+    std::map<uint64_t, size_t> row_act_slot_;  //!< Last ACT slot per key.
+    uint64_t max_row_acts_ = 0;  //!< Running max across all windows.
+    uint64_t max_key_ = 0;
+    size_t max_slot_ = 0;
+    double cmd_energy_pj_ = 0.0;
+    std::deque<std::pair<int64_t, double>> pwr_;  //!< (issue ps, pJ).
+    double pwr_sum_pj_ = 0.0;  //!< Energy inside the rolling window.
+    double peak_window_mw_ = 0.0;
+    size_t peak_slot_ = 0;
+    bool exact_ = true;
+    /// @}
 };
 
 /**
  * Demotes diagnostics covered by expectViolation() to expected notes
- * and flags annotations that never fired.
+ * and flags annotations that never fired.  Duplicate annotations of
+ * one rule collapse to a single pass (and at most one stale flag), so
+ * the outcome is deterministic however often the builder repeated the
+ * call.  In lint mode the certify-only rules are skipped entirely —
+ * lint() cannot tell whether they would hold, so their annotations
+ * are neither demoted nor flagged stale.
  */
 void
-applyExpectations(const Program &prog, Report &report)
+applyExpectations(const Program &prog, Report &report, bool certifying)
 {
+    bool dead_code = false;
+    for (const auto &d : report.diags)
+        dead_code = dead_code || d.rule == Rule::DeadCode;
+
+    std::set<Rule> handled;
     for (const auto rule : prog.expectedViolations()) {
+        if (!handled.insert(rule).second)
+            continue;
+        if (!certifying && certifyOnlyRule(rule))
+            continue;
         bool fired = false;
         for (auto &d : report.diags) {
             if (d.rule == rule) {
@@ -443,13 +651,40 @@ applyExpectations(const Program &prog, Report &report)
             }
         }
         if (!fired) {
+            std::string msg = std::string("expectViolation(") +
+                              ruleId(rule) + ") matched no diagnostic";
+            if (dead_code) {
+                msg += " (a zero-count loop leaves part of the "
+                       "program dead, which may be why)";
+            }
             report.diags.push_back(
                 {Rule::StaleExpectation,
                  ruleInfo(Rule::StaleExpectation).severity, 0, false, 0,
-                 std::string("expectViolation(") + ruleId(rule) +
-                     ") matched no diagnostic"});
+                 std::move(msg)});
         }
     }
+}
+
+/** The lint()/certify() shared driver; effects on when cert != null. */
+Report
+analyze(const Program &prog, const dram::DeviceConfig &cfg,
+        Certificate *cert)
+{
+    Report report;
+    report.diags = structuralDiagnostics(prog);
+
+    bool unbalanced = false;
+    for (const auto &d : report.diags)
+        unbalanced = unbalanced || d.rule == Rule::UnbalancedLoop;
+    if (!unbalanced)
+        Interp(prog, cfg, report, cert).run();
+
+    applyExpectations(prog, report, cert != nullptr);
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.slot < b.slot;
+                     });
+    return report;
 }
 
 } // namespace
@@ -502,21 +737,44 @@ structuralDiagnostics(const Program &prog)
 Report
 lint(const Program &prog, const dram::DeviceConfig &cfg)
 {
-    Report report;
-    report.diags = structuralDiagnostics(prog);
+    return analyze(prog, cfg, nullptr);
+}
 
-    bool unbalanced = false;
-    for (const auto &d : report.diags)
-        unbalanced = unbalanced || d.rule == Rule::UnbalancedLoop;
-    if (!unbalanced)
-        Interp(prog, cfg, report).run();
+std::string
+Certificate::summary() const
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "exposure: max %llu ACTs/row/window (bank %u row %u, %s, "
+        "threshold %llu); energy: %.1f pJ commands + %.1f pJ "
+        "background; power: avg %.2f mW, peak %.2f mW over %.0f ns "
+        "(budget %.2f mW)",
+        (unsigned long long)maxRowActs, unsigned(hottestBank),
+        unsigned(hottestRow), exact ? "exact" : "upper bound",
+        (unsigned long long)exposureThreshold, commandEnergyPj,
+        backgroundEnergyPj, avgPowerMw, peakWindowPowerMw,
+        powerWindowNs, powerBudgetMw);
+    return buf;
+}
 
-    applyExpectations(prog, report);
-    std::stable_sort(report.diags.begin(), report.diags.end(),
-                     [](const Diagnostic &a, const Diagnostic &b) {
-                         return a.slot < b.slot;
-                     });
-    return report;
+Certificate
+certify(const Program &prog, const dram::DeviceConfig &cfg,
+        const CertifyOptions &opts)
+{
+    Certificate cert;
+    cert.exposureThreshold =
+        opts.exposureThreshold != 0
+            ? opts.exposureThreshold
+            : uint64_t(std::llround(cfg.disturb.thresholdMin));
+    cert.powerBudgetMw = opts.powerBudgetMw > 0.0
+                             ? opts.powerBudgetMw
+                             : cfg.energy.maxAvgPowerMw;
+    cert.powerWindowNs = opts.powerWindowNs > 0.0
+                             ? opts.powerWindowNs
+                             : cfg.energy.powerWindowNs;
+    cert.report = analyze(prog, cfg, &cert);
+    return cert;
 }
 
 std::optional<LoopCertificate>

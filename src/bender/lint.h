@@ -90,7 +90,15 @@ enum class Severity : uint8_t
       "program spans more than tREFW with too few REFs to stay "            \
       "within the refresh budget")                                          \
     X(StaleExpectation, "stale-expectation", Warning,                       \
-      "expectViolation() annotation matched no diagnostic")
+      "expectViolation() annotation matched no diagnostic")                 \
+    X(ExposureBound, "exposure-bound", Error,                               \
+      "proven per-row activation bound exceeds the RowHammer "              \
+      "threshold within one refresh window")                                \
+    X(PowerWindow, "power-window", Error,                                   \
+      "rolling-window average power exceeds the device budget "             \
+      "(the energy generalization of tFAW)")                               \
+    X(EnergyEstimate, "energy-estimate", Note,                              \
+      "per-command energy and average-power estimate of the program")
 
 /** Rule ids (underlying type matches the forward decl in program.h). */
 enum class Rule : uint8_t
@@ -120,6 +128,14 @@ const RuleInfo &ruleInfo(Rule rule);
 
 /** Stable identifier of @p rule ("trp", "zero-loop", ...). */
 const char *ruleId(Rule rule);
+
+/**
+ * True for rules only the whole-program effect analyzer (certify())
+ * evaluates — exposure-bound, power-window, energy-estimate.  Plain
+ * lint() neither fires nor stale-flags annotations of these rules:
+ * it cannot tell whether they would hold.
+ */
+bool certifyOnlyRule(Rule rule);
 
 /** Pretty name of @p severity ("note", "warning", "error"). */
 const char *toString(Severity sev);
@@ -197,6 +213,86 @@ struct LoopCertificate
 std::optional<LoopCertificate>
 certifyHammerLoop(const std::vector<Instr> &instrs, size_t begin,
                   size_t end, const dram::DeviceConfig &cfg);
+
+/** Knobs of the whole-program effect analyzer (certify()). */
+struct CertifyOptions
+{
+    /**
+     * RowHammer exposure threshold: a proven bound above this many
+     * ACTs to one (bank, row) inside one refresh window raises
+     * exposure-bound.  0 selects the device's weakest-cell
+     * disturbance threshold (DisturbParams::thresholdMin).
+     */
+    uint64_t exposureThreshold = 0;
+
+    /** Power budget in mW; <= 0 selects EnergyParams::maxAvgPowerMw. */
+    double powerBudgetMw = 0.0;
+
+    /** Rolling window in ns; <= 0 selects EnergyParams::powerWindowNs. */
+    double powerWindowNs = 0.0;
+};
+
+/**
+ * The whole-program effect certificate: everything certify() proves
+ * about a program without executing a single command.  The exposure
+ * bound is an upper bound on the ACTs any single (bank, row) receives
+ * inside one refresh window (windows are delimited by REF commands,
+ * matching the scheduler's dynamic mc.exposure accounting, so
+ * `maxRowActs >= ScheduleStats::maxRowActsPerRefWindow` always
+ * holds); it is exact when `exact` is set — constant-address loop
+ * bodies fold through fast-forwarding by exact multiplication — and
+ * conservative (still an upper bound) otherwise.
+ */
+struct Certificate
+{
+    Report report;  //!< Timing diags + certify-only rules.
+
+    /// @name Exposure.
+    /// @{
+    uint64_t maxRowActs = 0;     //!< Proven max ACTs/row/refresh-window.
+    dram::BankId hottestBank = 0;
+    dram::RowAddr hottestRow = 0;
+    bool exact = true;           //!< Bound proven exact, not conservative.
+    uint64_t exposureThreshold = 0;  //!< Resolved threshold applied.
+    /// @}
+
+    /// @name Energy and power.
+    /// @{
+    double commandEnergyPj = 0.0;     //!< Sum of per-command energies.
+    double backgroundEnergyPj = 0.0;  //!< backgroundMw over durationPs.
+    double avgPowerMw = 0.0;          //!< Whole-program average.
+    double peakWindowPowerMw = 0.0;   //!< Hottest rolling window.
+    double powerBudgetMw = 0.0;       //!< Resolved budget applied.
+    double powerWindowNs = 0.0;       //!< Resolved window applied.
+    /// @}
+
+    /** Total estimated energy (commands + background), pJ. */
+    double totalEnergyPj() const
+    {
+        return commandEnergyPj + backgroundEnergyPj;
+    }
+
+    /** No unexpected errors: the program is certified. */
+    bool certified() const { return !report.hasErrors(); }
+
+    /** One-line deterministic summary (CLI / test payloads). */
+    std::string summary() const;
+};
+
+/**
+ * Certifies @p prog: a full lint() pass extended with the effect
+ * analysis — per-(bank, row) symbolic activation counters with
+ * refresh-window segmentation, per-command energy accounting from
+ * cfg.energy, and the rolling power-window check.  The report gains
+ * an energy-estimate note on every run plus exposure-bound /
+ * power-window diagnostics where the proven quantities exceed the
+ * (resolved) thresholds of @p opts.  expectViolation() demotion
+ * applies to the new rules exactly as to timing rules, so
+ * deliberately over-threshold programs (hammer kernels) certify
+ * clean when annotated.
+ */
+Certificate certify(const Program &prog, const dram::DeviceConfig &cfg,
+                    const CertifyOptions &opts = {});
 
 /** Pre-flight modes of bender::Host (env DRAMSCOPE_LINT). */
 enum class Mode : uint8_t

@@ -185,9 +185,11 @@ SpaceSavingTable::account(dram::RowAddr row, uint64_t count)
         return;
     }
     // Space-saving: replace the minimum entry, inheriting its count.
+    // determinism-ok: comparator total-orders ties by row address
     auto min_it = std::min_element(
         counts_.begin(), counts_.end(), [](const auto &a, const auto &b) {
-            return a.second < b.second;
+            return a.second != b.second ? a.second < b.second
+                                        : a.first < b.first;
         });
     const uint64_t floor = min_it->second;
     counts_.erase(min_it);
@@ -199,9 +201,12 @@ SpaceSavingTable::hottest() const
 {
     if (counts_.empty())
         return std::nullopt;
+    // determinism-ok: ties pick the lowest row, not the hash order
     return std::max_element(counts_.begin(), counts_.end(),
                             [](const auto &a, const auto &b) {
-                                return a.second < b.second;
+                                return a.second != b.second
+                                           ? a.second < b.second
+                                           : a.first > b.first;
                             })
         ->first;
 }
@@ -392,10 +397,50 @@ RowSwapMitigation::accountingChunk() const
 
 // ----------------------------------------------------------------- Factory
 
+bender::lint::Certificate
+certifyMitigationSequences(MitigationKind kind,
+                           const dram::DeviceConfig &cfg,
+                           const bender::lint::CertifyOptions &opts)
+{
+    // The exemplar sequence of each kind, at the catalog's default
+    // probe row.  The tracker kinds inject victim-refresh cycles
+    // (device-aware ones cover the coupled partner too); row swap
+    // costs a double row cycle plus the data-migration burst.
+    const auto row =
+        std::min<dram::RowAddr>(1024, cfg.rowsPerBank / 2);
+    MitigationSequence seq;
+    seq.kind = kind;
+    seq.bank = 0;
+    switch (kind) {
+    case MitigationKind::None:
+        break;  // Certifies the empty program: the free baseline.
+    case MitigationKind::Graphene:
+        seq.rows = victimRows(cfg, row, false);
+        break;
+    case MitigationKind::Rfm:
+    case MitigationKind::Drfm:
+        seq.rows = victimRows(cfg, row, true);
+        break;
+    case MitigationKind::RowSwap:
+        seq.rows = {row, cfg.rowsPerBank - cfg.rowsPerBank / 8};
+        seq.extraPs =
+            int64_t(2 * cfg.columnsPerRow()) * ps(cfg.timing.tCkNs);
+        break;
+    }
+    return bender::lint::certify(seq.program(cfg), cfg, opts);
+}
+
 std::unique_ptr<Mitigation>
 makeMitigation(MitigationKind kind, const dram::DeviceConfig &cfg,
                const MitigationOptions &opts)
 {
+    const auto cert = certifyMitigationSequences(kind, cfg);
+    for (const auto &d : cert.report.diags) {
+        fatalIf(!d.expected &&
+                    d.severity == bender::lint::Severity::Error,
+                "makeMitigation: " + std::string(mitigationId(kind)) +
+                    "'s own sequence fails certification: " + d.message);
+    }
     switch (kind) {
     case MitigationKind::None:
         return nullptr;

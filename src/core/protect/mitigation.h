@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bender/lint.h"
 #include "bender/program.h"
 #include "core/protect/rowswap.h"
 #include "core/protect/tracker.h"
@@ -357,8 +358,25 @@ std::vector<dram::RowAddr> victimRows(const dram::DeviceConfig &cfg,
                                       bool device_aware);
 
 /**
+ * Statically certifies the exemplar command sequence mitigation
+ * @p kind injects (the worst-case victim-refresh burst for the
+ * tracker kinds, the double row cycle plus data burst for row swap;
+ * an empty program for None): exposure bound, energy and rolling
+ * power window via bender::lint::certify.  A defense whose own
+ * sequences blow the power budget — or hammer a victim row past the
+ * disturbance threshold — is a bug in the defense, not the workload.
+ */
+bender::lint::Certificate
+certifyMitigationSequences(MitigationKind kind,
+                           const dram::DeviceConfig &cfg,
+                           const bender::lint::CertifyOptions &opts = {});
+
+/**
  * Builds the mitigation selected by @p kind for @p cfg; returns
- * nullptr for MitigationKind::None (no-overhead baseline).
+ * nullptr for MitigationKind::None (no-overhead baseline).  The
+ * kind's exemplar sequence is certified at registration
+ * (certifyMitigationSequences); an uncertifiable defense fatal()s
+ * here rather than injecting out-of-envelope commands at runtime.
  */
 std::unique_ptr<Mitigation> makeMitigation(MitigationKind kind,
                                            const dram::DeviceConfig &cfg,

@@ -5,7 +5,9 @@
 
 #include "dram/bank.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/log.h"
 #include "util/rng.h"
@@ -461,7 +463,17 @@ Bank::dataAt(RowAddr row, BitlineIdx bl, NanoTime now)
 void
 Bank::refreshAll(NanoTime now)
 {
-    for (auto &[row, rs] : rows_) {
+    // Commit in ascending row order: commitDisturb reads neighbour
+    // charge, so hash-order iteration would let one row's flips leak
+    // into an adjacent row's dose pattern in an order that differs
+    // across standard libraries.
+    std::vector<RowAddr> order;
+    order.reserve(rows_.size());
+    for (const auto &kv : rows_) // determinism-ok: keys sorted below
+        order.push_back(kv.first);
+    std::sort(order.begin(), order.end());
+    for (const RowAddr row : order) {
+        RowState &rs = rows_.find(row)->second;
         commitRetention(row, rs, now);
         commitDisturb(row, rs);
         rs.lastRestoreNs = now;

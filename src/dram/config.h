@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dram/disturb_params.h"
+#include "dram/energy_params.h"
 #include "dram/types.h"
 
 namespace dramscope {
@@ -132,6 +133,7 @@ struct DeviceConfig
     TimingParams timing;
     RetentionParams retention;
     DisturbParams disturb;
+    EnergyParams energy;
 
     double temperatureC = 75.0;
     uint64_t variationSeed = 0xd2a35c09ULL;  //!< Process variation seed.

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-command energy tables and the device power budget
+ * (ROADMAP item 2: energy as a first-class scenario axis).
+ *
+ * The values model a DDR4-class chip at the same fidelity as
+ * TimingParams: close enough to datasheet IDD figures that relative
+ * comparisons (hammer vs. press, mitigated vs. raw) are meaningful,
+ * while staying simple integers-of-picojoules the static certifier
+ * (bender::lint::certify) can fold through loop fast-forwarding
+ * exactly.  The budget fields generalize tFAW: where tFAW caps four
+ * ACTs per window because the charge pumps cannot source more, the
+ * power-window rule caps the *energy* any command mix may draw per
+ * rolling window.
+ */
+
+#ifndef DRAMSCOPE_DRAM_ENERGY_PARAMS_H
+#define DRAMSCOPE_DRAM_ENERGY_PARAMS_H
+
+namespace dramscope {
+namespace dram {
+
+/** Per-command energies (pJ) plus background power and budget. */
+struct EnergyParams
+{
+    double eActPj = 1200.0;  //!< Row activation (wordline + sensing).
+    double ePrePj = 600.0;   //!< Precharge (bitline equalization).
+    double eRdPj = 800.0;    //!< One RD burst through the column path.
+    double eWrPj = 900.0;    //!< One WR burst (drivers + restore).
+    double eRefPj = 25000.0; //!< All-bank refresh (many rows at once).
+
+    /** Standby/idle draw, charged over the whole program span (mW). */
+    double backgroundMw = 60.0;
+
+    /**
+     * Power-budget window length (ns).  200 ns spans many command
+     * slots (tCK 1.25 ns) yet reacts to bursts far shorter than a
+     * refresh interval — the same role tFAW's 25 ns plays for ACTs.
+     */
+    double powerWindowNs = 200.0;
+
+    /**
+     * Rolling-window average power budget (mW), background included.
+     * Sized to clear the densest *in-spec* command mix — a write
+     * burst saturating every tCK slot draws ~720 mW plus background —
+     * while out-of-envelope traffic (ACT streams at tCK spacing in
+     * violation of tRRD draw ~1 W) exceeds it.
+     */
+    double maxAvgPowerMw = 850.0;
+};
+
+} // namespace dram
+} // namespace dramscope
+
+#endif // DRAMSCOPE_DRAM_ENERGY_PARAMS_H

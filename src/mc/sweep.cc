@@ -33,28 +33,35 @@ sweepPlan(const std::vector<core::MitigationKind> &mitigations)
     return cells;
 }
 
-std::string
-runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
-             const McSweepOptions &opt)
+ScheduleResult
+buildSweepCellSchedule(const SweepCell &cell, uint32_t shard,
+                       const dram::DeviceConfig &cfg,
+                       const McSweepOptions &opt)
 {
-    const auto &cfg = ctx.host.config();
-
     WorkloadOptions wopt;
     wopt.requests = opt.requests;
-    // Split by shard index, not ctx.rng: the workload must be the
+    // Split by shard index, not a live RNG: the workload must be the
     // same bytes on every attempt and under every job count.  The
     // index is folded modulo the workload x policy block, so every
     // mitigation block of the grid faces identical traffic (and the
     // leading None block keeps its historical seeds).
     const uint64_t block =
         uint64_t(workloadTable().size()) * policyTable().size();
-    wopt.seed = hashCombine(opt.seed, ctx.shard % block);
+    wopt.seed = hashCombine(opt.seed, shard % block);
     const auto reqs = makeWorkload(cell.workload, cfg, wopt);
 
     SchedulerOptions sopt;
     sopt.policy = cell.policy;
     sopt.mitigation = cell.mitigation;
-    auto result = schedule(reqs, cfg, sopt);
+    return schedule(reqs, cfg, sopt);
+}
+
+std::string
+runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
+             const McSweepOptions &opt)
+{
+    const auto &cfg = ctx.host.config();
+    auto result = buildSweepCellSchedule(cell, ctx.shard, cfg, opt);
 
     const auto report = bender::lint::lint(result.program, cfg);
     for (const auto &d : report.diags) {

@@ -74,6 +74,19 @@ std::string runSweepCell(core::ShardContext &ctx, const SweepCell &cell,
                          const McSweepOptions &opt);
 
 /**
+ * The schedule a grid cell emits, without executing it: the same
+ * per-shard workload seed split runSweepCell applies (@p shard is the
+ * cell's index in the plan), scheduled under the cell's policy and
+ * mitigation.  This is the program-export path the static certifier
+ * uses — `dramscope_cli certify --grid` and the cross-validation
+ * harness certify every cell's program before (or without) running it.
+ */
+ScheduleResult buildSweepCellSchedule(const SweepCell &cell,
+                                      uint32_t shard,
+                                      const dram::DeviceConfig &cfg,
+                                      const McSweepOptions &opt);
+
+/**
  * Runs the whole grid through @p runner.runResilient and returns its
  * report: payloads in shard order, bit-identical for any job count.
  */

@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Determinism hazard checks (CI ``static-analysis`` job).
+
+The repo's headline reproducibility contract is *byte-identical
+output*: serial == parallel sweeps, checkpoint-resume == fresh run,
+and the same figures from every shard count.  Three source-level
+hazard classes silently break that contract long after the code that
+introduced them merged:
+
+1. **Unordered-container iteration feeding ordered output.**
+   Iterating a ``std::unordered_map``/``std::unordered_set`` (range-
+   for, ``begin()`` handed to an ``<algorithm>``) produces values in
+   hash-table order, which varies across standard libraries and
+   (for pointer keys) across runs.  Anything derived from such an
+   iteration — a picked min/max with ties, a serialized list, a
+   merged counter — is only deterministic by accident.
+
+2. **Wall-clock or libc RNG seeding.**  ``rand()``/``srand()``,
+   ``std::random_device`` and ``time(...)``-derived seeds make a run
+   unreproducible by construction; every RNG in the repo must derive
+   from an explicit seed (util/rng.h streams).
+
+3. **Floating-point accumulation in merge paths.**  ``double``
+   accumulation is not associative: a ``+=`` reduction inside a
+   shard-merge/combine/reduce function yields different bits when the
+   merge order changes (e.g. under work stealing).  Integer
+   accumulators or fixed merge order are the deterministic options.
+
+Findings are heuristic, so an inline suppression records the reviewed
+exceptions::
+
+    std::min_element(counts_.begin(), counts_.end(),
+                     cmp);  // determinism-ok: comparator total-orders ties
+
+A ``// determinism-ok: <reason>`` comment on the finding line or the
+line directly above suppresses it; the reason is mandatory (a bare
+``determinism-ok`` still fails, so suppressions stay reviewable).
+
+Usage: ``check_determinism.py [paths...]`` — default scans ``src/``.
+Exits non-zero with one ``file:line: [class] message`` per finding.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
+
+SUPPRESS_RE = re.compile(r"//\s*determinism-ok:\s*\S")
+BARE_SUPPRESS_RE = re.compile(r"//\s*determinism-ok\s*(:\s*)?$")
+
+# Class 2: libc RNG / wall-clock seeding.
+RNG_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:s?rand)\s*\("
+    r"|std::random_device"
+    r"|(?<![\w:])time\s*\(\s*(?:NULL|0|nullptr)\s*\)")
+
+# Class 1: declarations introducing unordered containers, capturing
+# the variable name:  std::unordered_map<K, V> name;  (members and
+# locals; templates with nested <> handled by the lazy [^;=({]*).
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;={(]*>\s*(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*:\s*(\w+)\s*\)")
+# Algorithm calls span lines (clang-format breaks after the paren),
+# so this one is matched against the whole joined file.
+ITER_ALGO_RE = re.compile(
+    r"\b(?:std::)?(min_element|max_element|accumulate|for_each|copy|"
+    r"transform|partial_sum)\s*\(\s*(\w+)\s*\.c?begin\s*\(", re.S)
+
+# Class 3: float accumulation inside merge/combine/reduce functions.
+MERGE_FN_RE = re.compile(r"^\s*\w[\w:<>&*\s]*\b(\w*(?:[Mm]erge|"
+                         r"[Cc]ombine|[Rr]educe)\w*)\s*\(")
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\b[^;=(]*?\b(\w+)\s*[;={]")
+ACCUM_RE = re.compile(r"\b(\w+)\s*\+=")
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blanks string/char literals and // comments, preserving length
+    (so regex positions keep meaning and commented code never fires).
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and line[i] != quote:
+                out.append(" ")
+                i += 2 if line[i] == "\\" else 1
+            out.append(" ")
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)[:n]
+
+
+def suppressed(lines: list, idx: int) -> bool:
+    """True when line idx (0-based) carries or follows determinism-ok."""
+    if SUPPRESS_RE.search(lines[idx]):
+        return True
+    return idx > 0 and SUPPRESS_RE.search(lines[idx - 1]) is not None
+
+
+def check_bare_suppressions(path: Path, lines: list, findings: list):
+    for idx, line in enumerate(lines):
+        if BARE_SUPPRESS_RE.search(line.rstrip()):
+            findings.append((path, idx + 1, "suppression",
+                             "determinism-ok without a reason "
+                             "(write `// determinism-ok: <why>`)"))
+
+
+def check_rng(path: Path, lines: list, code: list, findings: list):
+    for idx, stripped in enumerate(code):
+        m = RNG_RE.search(stripped)
+        if m and not suppressed(lines, idx):
+            findings.append((path, idx + 1, "rng",
+                             f"nondeterministic seed source "
+                             f"'{m.group(0).strip()}' (derive from an "
+                             f"explicit util/rng.h seed instead)"))
+
+
+def check_unordered_iteration(path: Path, lines: list, code: list,
+                              names: set, findings: list):
+    # @p names is collected per component stem (foo.h + foo.cc):
+    # members are declared in a header and iterated in the matching
+    # .cc, so per-file collection would miss exactly the interesting
+    # cases, while a global pool would false-positive on unrelated
+    # files reusing a name (Table::rows_ is a vector; Bank::rows_ is
+    # an unordered_map).  A same-stem ordered container can still
+    # false-positive; that is what the suppression comment is for.
+    for idx, stripped in enumerate(code):
+        m = RANGE_FOR_RE.search(stripped)
+        if m and m.group(1) in names and not suppressed(lines, idx):
+            findings.append((path, idx + 1, "unordered-iteration",
+                             f"range-for over unordered container "
+                             f"'{m.group(1)}': hash order is not "
+                             f"deterministic across standard "
+                             f"libraries; use an ordered container or "
+                             f"total-order the selection"))
+    joined = "\n".join(code)
+    for m in ITER_ALGO_RE.finditer(joined):
+        if m.group(2) not in names:
+            continue
+        idx = joined.count("\n", 0, m.start())
+        if suppressed(lines, idx):
+            continue
+        findings.append((path, idx + 1, "unordered-iteration",
+                         f"{m.group(1)} over unordered container "
+                         f"'{m.group(2)}': hash order is not "
+                         f"deterministic across standard libraries; "
+                         f"use an ordered container or total-order "
+                         f"the selection"))
+
+
+def merge_function_bodies(code: list):
+    """Yields (name, start_idx, end_idx) for merge-named functions,
+    by brace matching from the definition line."""
+    idx = 0
+    while idx < len(code):
+        m = MERGE_FN_RE.match(code[idx])
+        if not m:
+            idx += 1
+            continue
+        depth = 0
+        opened = False
+        end = idx
+        for j in range(idx, len(code)):
+            for c in code[j]:
+                if c == "{":
+                    depth += 1
+                    opened = True
+                elif c == "}":
+                    depth -= 1
+            if opened and depth <= 0:
+                end = j
+                break
+            if not opened and ";" in code[j]:
+                end = j  # Declaration only, no body.
+                break
+        else:
+            end = len(code) - 1
+        if opened:
+            yield m.group(1), idx, end
+        idx = end + 1
+
+
+def check_float_merge(path: Path, lines: list, code: list,
+                      findings: list):
+    float_names = set()
+    for stripped in code:
+        float_names.update(FLOAT_DECL_RE.findall(stripped))
+    if not float_names:
+        return
+    for fn, start, end in merge_function_bodies(code):
+        for idx in range(start, end + 1):
+            for name in ACCUM_RE.findall(code[idx]):
+                if name not in float_names or suppressed(lines, idx):
+                    continue
+                findings.append(
+                    (path, idx + 1, "float-merge",
+                     f"floating-point accumulation '{name} +=' inside "
+                     f"merge path '{fn}': += on doubles is not "
+                     f"associative, so merge order changes the bits"))
+
+
+def scan(path: Path, names: set, findings: list) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    code = [strip_strings_and_comments(l) for l in lines]
+    check_bare_suppressions(path, lines, findings)
+    check_rng(path, lines, code, findings)
+    check_unordered_iteration(path, lines, code, names, findings)
+    check_float_merge(path, lines, code, findings)
+
+
+def collect_unordered_names(files: list) -> dict:
+    names = {}
+    for path in files:
+        found = set()
+        for line in path.read_text(encoding="utf-8").splitlines():
+            found.update(
+                UNORDERED_DECL_RE.findall(strip_strings_and_comments(line)))
+        if found:
+            names.setdefault(path.stem, set()).update(found)
+    return names
+
+
+def main(argv: list) -> int:
+    roots = [Path(a) for a in argv[1:]] or [REPO / "src"]
+    files = []
+    for root in roots:
+        root = root if root.is_absolute() else REPO / root
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+    names = collect_unordered_names(files)
+    findings = []
+    for path in files:
+        scan(path, names.get(path.stem, set()), findings)
+
+    for path, lineno, cls, msg in findings:
+        try:
+            rel = path.relative_to(REPO)
+        except ValueError:
+            rel = path
+        print(f"check_determinism: {rel}:{lineno}: [{cls}] {msg}",
+              file=sys.stderr)
+    if findings:
+        print(f"check_determinism: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_determinism: {len(files)} file(s) clean (unordered "
+          f"iteration, RNG seeding, float merge accumulation)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,9 @@
  *   report  <preset>             full reverse-engineering pipeline
  *   stats   <preset> [row] [n]   command metrics of a hammer workload
  *   lint    <preset> [name]      static analysis of built-in programs
+ *   certify <preset> [name]      static exposure/energy certification
+ *                                of built-in programs, or of the mc
+ *                                sweep grid with --grid
  *   sweep   <preset> [shards] [n]  resilient BER sweep (checkpoint/
  *                                resume, fault injection, retry)
  *   mc      <preset>             scheduled traffic through the
@@ -52,6 +55,17 @@
  * generator) and `--dump-trace=FILE` (record the generated stream);
  * `mcsweep` accepts `--reqs=N` and `--mitigation=<kind>|all` (a
  * mitigation axis on the grid).  See docs/MC.md.
+ *
+ * `certify` runs the whole-program effect analyzer
+ * (bender::lint::certify) — proven per-row activation bound per
+ * refresh window, per-command energy and rolling-window power —
+ * without executing a single command.  It accepts `--threshold=N`
+ * (exposure; default the device's weakest-cell threshold),
+ * `--power-budget-mw=X` and `--power-window-ns=X` (defaults from the
+ * device's EnergyParams), and `--grid` to certify every program the
+ * mc scheduler emits for the workload x policy x mitigation grid
+ * (`--mitigation=<kind>|all`, `--reqs=N`, `--seed=S` as in mcsweep).
+ * Exit status 1 when any program fails certification.
  *
  * Exit codes: 0 success; 1 a run that executed but failed (lint
  * errors, metrics mismatch, quarantined shards, failed AIB
@@ -114,6 +128,11 @@ struct Flags
 
     /** --refresh-interval-ns=T: whole ns; <0 = config tREFI, 0 = off. */
     int64_t refreshIntervalNs = -1;
+
+    bool grid = false;        //!< --grid (certify the mc sweep grid).
+    uint64_t threshold = 0;   //!< --threshold=N (0 = device default).
+    double powerBudgetMw = 0.0;  //!< --power-budget-mw (<=0 = device).
+    double powerWindowNs = 0.0;  //!< --power-window-ns (<=0 = device).
 };
 
 /**
@@ -134,6 +153,25 @@ parseU64OrExit(const std::string &arg, const char *what)
         std::exit(2);
     }
     return uint64_t(v);
+}
+
+/**
+ * Parses a strictly positive decimal floating-point argument (same
+ * diagnose-and-exit contract as parseU64OrExit).
+ */
+double
+parseF64OrExit(const std::string &arg, const char *what)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || *end != '\0' || errno != 0 || !(v > 0.0)) {
+        std::fprintf(stderr, "error: bad %s '%s' (expected a "
+                             "positive number)\n",
+                     what, arg.c_str());
+        std::exit(2);
+    }
+    return v;
 }
 
 /**
@@ -273,6 +311,8 @@ usage()
         "workload\n"
         "  lint <preset> [name]          static analysis of built-in "
         "programs\n"
+        "  certify <preset> [name]       static exposure/energy "
+        "certification (no execution)\n"
         "  sweep <preset> [shards] [n]   resilient BER sweep\n"
         "  mc <preset>                   scheduled traffic through the "
         "memory controller\n"
@@ -299,7 +339,12 @@ usage()
         "--reqs=N\n"
         "  and --mitigation=<kind>|all (adds a mitigation axis to the "
         "grid)\n"
-        "see docs/MC.md for the policy and mitigation tables\n");
+        "certify accepts --threshold=N --power-budget-mw=X "
+        "--power-window-ns=X (defaults from the device), and --grid\n"
+        "  to certify the mc workload x policy x mitigation grid "
+        "(--mitigation=<kind>|all, --reqs=N, --seed=S)\n"
+        "see docs/MC.md for the policy and mitigation tables, "
+        "docs/LINT_RULES.md for the rule registry\n");
     return 2;
 }
 
@@ -530,6 +575,106 @@ cmdLint(const std::string &preset, const std::string &name)
                 "unexpected error(s)\n",
                 programs.size(), clean, unexpected_errors);
     return unexpected_errors == 0 ? 0 : 1;
+}
+
+/**
+ * Static exposure & energy certification: the whole-program effect
+ * analyzer over the catalog (or one program by name), or — with
+ * --grid — over every program the mc scheduler emits for the
+ * workload x policy x mitigation grid, via the buildSweepCellSchedule
+ * export path.  Nothing executes on a device.
+ */
+int
+cmdCertify(const std::string &preset, const std::string &name,
+           const Flags &flags)
+{
+    const auto cfg = dram::makePreset(preset);
+    bender::lint::CertifyOptions copts;
+    copts.exposureThreshold = flags.threshold;
+    copts.powerBudgetMw = flags.powerBudgetMw;
+    copts.powerWindowNs = flags.powerWindowNs;
+
+    std::vector<core::NamedProgram> units;
+    if (flags.grid) {
+        // The same mitigation-axis parse as mcsweep, but defaulting
+        // to the full registry: the point of pre-flight is covering
+        // everything a later sweep could run.
+        std::vector<core::MitigationKind> mitigations;
+        if (flags.mitigation.empty() || flags.mitigation == "all") {
+            for (const auto &info : core::mitigationTable())
+                mitigations.push_back(info.kind);
+        } else {
+            const auto kind =
+                core::mitigationFromString(flags.mitigation);
+            if (!kind) {
+                std::fprintf(
+                    stderr,
+                    "error: unknown --mitigation '%s' for certify "
+                    "(none|graphene|rfm|drfm|rowswap|all)\n",
+                    flags.mitigation.c_str());
+                return 2;
+            }
+            mitigations = {*kind};
+        }
+        mc::McSweepOptions mopt;
+        mopt.requests = flags.reqs;
+        mopt.seed = flags.seed;
+        const auto plan = mc::sweepPlan(mitigations);
+        for (uint32_t shard = 0; shard < plan.size(); ++shard) {
+            const auto &cell = plan[shard];
+            auto result =
+                mc::buildSweepCellSchedule(cell, shard, cfg, mopt);
+            units.push_back(
+                {std::string(mc::workloadId(cell.workload)) + "/" +
+                     mc::policyId(cell.policy) + "/" +
+                     core::mitigationId(cell.mitigation),
+                 "mc", std::move(result.program)});
+        }
+    } else if (name.empty()) {
+        units = core::builtinPrograms(cfg);
+    } else {
+        units.push_back(core::builtinProgram(cfg, name));
+    }
+
+    Table t({"Program", "Bound", "Hot bank/row", "Exact", "Energy (pJ)",
+             "Avg mW", "Peak mW", "Status"});
+    size_t failed = 0;
+    std::vector<std::string> errors;
+    for (const auto &u : units) {
+        const auto cert = bender::lint::certify(u.prog, cfg, copts);
+        if (!cert.certified())
+            ++failed;
+        t.addRow({u.name, Table::num(cert.maxRowActs),
+                  Table::num(uint64_t(cert.hottestBank)) + "/" +
+                      Table::num(uint64_t(cert.hottestRow)),
+                  cert.exact ? "yes" : "upper",
+                  Table::num(cert.totalEnergyPj(), 1),
+                  Table::num(cert.avgPowerMw, 2),
+                  Table::num(cert.peakWindowPowerMw, 2),
+                  cert.certified() ? "certified" : "FAILED"});
+        for (const auto &d : cert.report.diags) {
+            if (d.severity == bender::lint::Severity::Error) {
+                errors.push_back(u.name + ": " +
+                                 bender::lint::ruleId(d.rule) + ": " +
+                                 d.message);
+            }
+        }
+    }
+    t.print();
+    for (const auto &e : errors)
+        std::printf("error %s\n", e.c_str());
+    std::printf("%zu program(s): %zu certified, %zu failed "
+                "(threshold %llu ACTs, budget %.2f mW over %.0f ns)\n",
+                units.size(), units.size() - failed, failed,
+                (unsigned long long)(flags.threshold
+                                         ? flags.threshold
+                                         : uint64_t(cfg.disturb
+                                                        .thresholdMin)),
+                flags.powerBudgetMw > 0.0 ? flags.powerBudgetMw
+                                          : cfg.energy.maxAvgPowerMw,
+                flags.powerWindowNs > 0.0 ? flags.powerWindowNs
+                                          : cfg.energy.powerWindowNs);
+    return failed == 0 ? 0 : 1;
 }
 
 int
@@ -1033,6 +1178,17 @@ main(int argc, char **argv)
         else if (arg.rfind("--refresh-interval-ns=", 0) == 0)
             flags.refreshIntervalNs =
                 parseI64OrExit(arg.substr(22), "--refresh-interval-ns");
+        else if (arg == "--grid")
+            flags.grid = true;
+        else if (arg.rfind("--threshold=", 0) == 0)
+            flags.threshold =
+                parseU64OrExit(arg.substr(12), "--threshold");
+        else if (arg.rfind("--power-budget-mw=", 0) == 0)
+            flags.powerBudgetMw =
+                parseF64OrExit(arg.substr(18), "--power-budget-mw");
+        else if (arg.rfind("--power-window-ns=", 0) == 0)
+            flags.powerWindowNs =
+                parseF64OrExit(arg.substr(18), "--power-window-ns");
         else {
             if (subcommand.empty()) {
                 std::fprintf(stderr, "error: unknown flag '%s'\n",
@@ -1062,6 +1218,9 @@ main(int argc, char **argv)
             return cmdReport(preset, flags);
         if (cmd == "lint")
             return cmdLint(preset, args.size() > 2 ? args[2] : "");
+        if (cmd == "certify")
+            return cmdCertify(preset, args.size() > 2 ? args[2] : "",
+                              flags);
         if (cmd == "stats") {
             const auto row =
                 args.size() > 2
